@@ -1,0 +1,25 @@
+"""Ablation A9: maintenance cadence (cost vs staleness).
+
+The paper's model rebuilds the synopsis after every arrival; relaxing the
+cadence divides maintenance cost while queries pay a staleness penalty.
+The sweep quantifies the dial so a deployment can pick a point on it.
+"""
+
+from __future__ import annotations
+
+from repro.bench import maintenance_cadence
+
+
+def test_maintenance_cadence(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: maintenance_cadence(window=512, arrivals=256),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("a9_maintenance_cadence", table)
+    rows = table.rows()
+    # Cost falls monotonically with the cadence...
+    costs = [row["ms_per_arrival"] for row in rows]
+    assert costs == sorted(costs, reverse=True)
+    # ...while per-arrival maintenance keeps queries the most accurate.
+    assert rows[0]["stale_query_err"] <= rows[-1]["stale_query_err"]

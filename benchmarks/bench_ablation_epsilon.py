@@ -1,0 +1,31 @@
+"""Ablation A1: the epsilon accuracy/speed dial.
+
+The paper's algorithms "trade accuracy for speed and allow for a graceful
+tradeoff between the two".  Sweeping epsilon at fixed window and B shows
+the dial: the SSE ratio to the optimal DP stays within (1 + epsilon)
+while the per-arrival cost and the interval-cover size grow as epsilon
+shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.bench import epsilon_ablation
+
+
+def _run():
+    return epsilon_ablation(
+        window=512,
+        num_buckets=8,
+        epsilons=(1.0, 0.5, 0.2, 0.1, 0.05),
+        arrivals=30,
+    )
+
+
+def test_epsilon_tradeoff(benchmark, record_table):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_table("a1_epsilon_ablation", table)
+    rows = table.rows()
+    for row in rows:
+        assert row["sse_ratio"] <= 1.0 + row["epsilon"] + 1e-6, row
+    # Tighter epsilon -> more intervals (monotone across the sweep ends).
+    assert rows[-1]["intervals_per_level"] > rows[0]["intervals_per_level"]

@@ -1,0 +1,35 @@
+"""Ablation A3: interval-cover size vs the O((1/delta) log n) bound.
+
+Section 4.5's analysis bounds each level's interval count by
+``1 + log_{1+delta}(HERROR[n, B])`` = O((1/delta) log(n R)).  The cover
+sizes should grow roughly logarithmically with the window length and
+linearly with 1/epsilon, and always stay below the analytic bound (and
+below n, the degenerate cap).
+"""
+
+from __future__ import annotations
+
+from repro.bench import interval_growth_ablation
+
+
+def _run():
+    return interval_growth_ablation(
+        window_sizes=(128, 256, 512, 1024, 2048, 4096),
+        num_buckets=8,
+        epsilons=(0.5, 0.25, 0.1),
+    )
+
+
+def test_interval_bound_respected(benchmark, record_table):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_table("a3_interval_growth", table)
+    rows = table.rows()
+    for row in rows:
+        assert row["bound_fraction"] <= 1.0 + 1e-9, row
+    # Log-like growth in n: doubling the window adds far fewer intervals
+    # than doubling would.
+    by_eps = {}
+    for row in rows:
+        by_eps.setdefault(row["epsilon"], []).append(row["mean_intervals"])
+    for counts in by_eps.values():
+        assert counts[-1] < counts[0] * (4096 / 128)

@@ -1,0 +1,72 @@
+"""Ablations A4/A5: query-aggregate variants and heuristic quality.
+
+A4 backs the paper's section 5.1 aside that range-avg and point queries
+behave like range-sums: the histogram's advantage over the wavelet holds
+across all three query families.
+
+A5 quantifies why V-optimality matters: the (1 + eps)-approximation sits
+at ~1x the optimal SSE while the classic heuristics (MaxDiff, equi-width)
+and APCA trail by integer factors on realistic utilization data.
+"""
+
+from __future__ import annotations
+
+from repro.bench import aggregate_variants, heuristic_quality
+
+
+def test_aggregate_variants(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: aggregate_variants(window=512, num_buckets=12, epsilon=0.2,
+                                   queries=200),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("a4_aggregate_variants", table)
+    for row in table:
+        assert row["histogram_rel_err"] <= row["wavelet_rel_err"], row
+
+
+def test_heuristic_quality(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: heuristic_quality(lengths=(256, 1024, 4096), num_buckets=16),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("a5_heuristic_quality", table)
+    for row in table:
+        assert row["approx"] <= 1.1 + 1e-9, row
+        assert row["maxdiff"] >= row["approx"] - 1e-9
+        assert row["equal_width"] >= row["approx"] - 1e-9
+        assert row["apca"] >= row["approx"] - 1e-9
+
+
+def test_span_breakdown(benchmark, record_table):
+    from repro.bench import span_breakdown
+
+    table = benchmark.pedantic(
+        lambda: span_breakdown(window=512, queries_per_band=100),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("a7_span_breakdown", table)
+    for row in table:
+        assert row["histogram_err"] <= row["wavelet_err"], row
+
+
+def test_space_accuracy_sweep(benchmark, record_table):
+    from repro.bench import space_accuracy_sweep
+
+    table = benchmark.pedantic(
+        lambda: space_accuracy_sweep(length=2048, budgets=(4, 8, 16, 32, 64)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("a8_space_accuracy", table)
+    for row in table:
+        # The guaranteed approximation hugs the optimum across the sweep;
+        # histogram heuristics can never beat the optimal histogram.
+        assert row["approx"] <= 1.1 + 1e-9, row
+        assert row["maxdiff"] >= 1.0 - 1e-9
+        assert row["equal_width"] >= 1.0 - 1e-9
+        assert row["iterative"] >= 1.0 - 1e-9
+        assert row["sampled"] >= 1.0 - 1e-9

@@ -1,0 +1,41 @@
+"""Ablation A2: Theorem 1's growth rate vs the alternatives.
+
+Three ways to maintain a fixed-window histogram per arrival:
+
+* the paper's algorithm -- O((B^3/eps^2) log^3 n) per point;
+* the naive optimal DP re-run -- O(n^2 B) per point (section 3);
+* restarting the agglomerative algorithm from scratch -- O(n log n)-ish
+  per point (section 4.4's strawman).
+
+The fixed-window algorithm must grow far slower with n than either
+baseline; ``herror_evals`` gives the hardware-independent view.
+"""
+
+from __future__ import annotations
+
+from repro.bench import scaling_ablation
+
+
+def _run():
+    return scaling_ablation(
+        window_sizes=(128, 256, 512, 1024, 2048),
+        num_buckets=8,
+        epsilon=0.25,
+        arrivals=10,
+        max_dp_window=1024,
+    )
+
+
+def test_growth_rates(benchmark, record_table):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_table("a2_scaling_ablation", table)
+    rows = table.rows()
+    first, last = rows[0], rows[-1]
+    window_ratio = last["window"] / first["window"]  # 16x
+    # Operation count grows sublinearly in the window length.
+    assert last["herror_evals"] / first["herror_evals"] < window_ratio
+    # The DP loses to the fixed-window algorithm by the largest DP window.
+    dp_rows = [r for r in rows if r["dp_ms"] == r["dp_ms"]]  # non-NaN
+    assert dp_rows[-1]["dp_ms"] > dp_rows[-1]["fw_ms"]
+    # And the restart strawman also loses at the largest window.
+    assert last["restart_agg_ms"] > last["fw_ms"]

@@ -1,0 +1,21 @@
+"""Ablation A6: stream-mining extension (paper section 6).
+
+Change detection backed by fixed-window histogram synopses: recall,
+detection delay and spurious-event rate across window sizes.
+"""
+
+from __future__ import annotations
+
+from repro.bench import change_detection
+
+
+def test_change_detection_quality(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: change_detection(window_sizes=(64, 128, 256)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("a6_change_detection", table)
+    for row in table:
+        assert row["recall"] >= 0.8, row
+        assert row["spurious_per_1k"] <= 1.0, row

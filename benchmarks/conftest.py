@@ -1,0 +1,34 @@
+"""Shared machinery for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (figure panel, section 5.2
+experiment, or ablation) via :mod:`repro.bench.experiments`, times it with
+pytest-benchmark, and archives the rendered result table under
+``benchmarks/results/`` so the series survive the run (pytest captures
+stdout).  EXPERIMENTS.md is compiled from those archives.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Save a rendered ResultTable (and echo it for -s runs)."""
+
+    def _record(name: str, table) -> None:
+        text = table.render()
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Network monitoring: approximate range queries over a live router stream.
+
+The paper's motivating scenario (section 1): a router reports traffic
+volumes continuously; operators ask for aggregate bytes over recent time
+windows.  This example drives three synopses side by side over a bursty
+traffic stream -- the paper's fixed-window histogram, an equal-space
+wavelet synopsis, and the exact buffer -- and reports their accuracy and
+maintenance cost, a miniature of the paper's Figure 6.
+
+Usage::
+
+    python examples/network_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.query import (
+    ExactMaintainer,
+    HistogramMaintainer,
+    StreamQueryEngine,
+    WaveletMaintainer,
+)
+from repro.streams import bursty_traffic, take
+
+WINDOW = 256
+BUCKETS = 12
+EPSILON = 0.2
+STREAM_LENGTH = 3000
+
+
+def main() -> None:
+    stream = take(bursty_traffic(seed=7), STREAM_LENGTH)
+    engine = StreamQueryEngine(
+        window_size=WINDOW,
+        maintain_every=16,
+        evaluate_every=256,
+        queries_per_evaluation=32,
+        seed=3,
+    )
+    maintainers = [
+        HistogramMaintainer(WINDOW, BUCKETS, EPSILON),
+        WaveletMaintainer(WINDOW, BUCKETS),
+        ExactMaintainer(WINDOW),
+    ]
+    reports = engine.run(stream, maintainers)
+
+    print(f"Bursty router stream, {STREAM_LENGTH} arrivals, window {WINDOW}:")
+    print(f"{'method':30s} {'avg abs error':>14s} {'avg rel error':>14s} {'maint (s)':>10s}")
+    for report in reports:
+        print(
+            f"{report.name:30s} {report.mean_absolute_error:>14.1f} "
+            f"{report.mean_relative_error:>14.4f} "
+            f"{report.maintenance_seconds:>10.3f}"
+        )
+
+    histogram, wavelet, exact = reports
+    assert exact.mean_absolute_error == 0.0
+    if histogram.mean_absolute_error < wavelet.mean_absolute_error:
+        advantage = wavelet.mean_absolute_error / max(histogram.mean_absolute_error, 1e-9)
+        print(f"\nHistogram beats wavelet at equal space by {advantage:.1f}x, "
+              "matching the paper's Figure 6.")
+    else:
+        print("\nUnexpected: wavelet beat the histogram on this stream/seed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Time-series similarity search with histogram features (section 5.2).
+
+Indexes a collection of related series under three equal-space reduced
+representations -- the paper's V-optimal features, Keogh et al.'s APCA,
+and PAA -- then runs k-NN queries and reports false positives: raw series
+the index had to fetch and verify that turned out not to be answers.
+Fewer false positives = a tighter representation.
+
+Usage::
+
+    python examples/timeseries_similarity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import timeseries_collection
+from repro.similarity import APCAReducer, PAAReducer, SeriesIndex, VOptimalReducer
+
+COUNT = 150
+LENGTH = 256
+BUDGET = 16  # numbers stored per series
+QUERIES = 15
+K = 10
+
+
+def main() -> None:
+    collection = timeseries_collection(COUNT, LENGTH, seed=5)
+    rng = np.random.default_rng(6)
+    queries = [
+        collection[int(rng.integers(COUNT))]
+        + rng.normal(0.0, 0.05, LENGTH)
+        for _ in range(QUERIES)
+    ]
+
+    print(f"{COUNT} series of length {LENGTH}, budget {BUDGET} numbers each, "
+          f"{QUERIES} {K}-NN queries\n")
+    print(f"{'representation':26s} {'false positives':>16s} {'verified':>9s} {'pruned %':>9s}")
+    for reducer in [
+        VOptimalReducer(BUDGET),
+        VOptimalReducer(BUDGET, epsilon=0.1),
+        APCAReducer(BUDGET),
+        PAAReducer(BUDGET),
+    ]:
+        index = SeriesIndex(reducer)
+        index.add_all(collection)
+        false_positives = 0
+        verified = 0
+        pruned = 0
+        for query in queries:
+            outcome = index.knn_search(query, K)
+            false_positives += outcome.false_positives
+            verified += outcome.candidates_verified
+            pruned += outcome.pruned
+        pruned_pct = 100.0 * pruned / (QUERIES * COUNT)
+        print(f"{reducer.name:26s} {false_positives:>16d} {verified:>9d} "
+              f"{pruned_pct:>8.1f}%")
+
+    print("\nAll methods return the exact k nearest neighbours (the lower "
+          "bound guarantees no false dismissals); they differ only in "
+          "wasted verifications.")
+
+
+if __name__ == "__main__":
+    main()

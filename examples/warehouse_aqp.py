@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Approximate query answering in a warehouse (section 5.2).
+
+Builds B-bucket summaries of a skewed measure column with four
+construction algorithms -- the optimal DP, the paper's one-pass
+(1 + eps)-approximation, equi-width and MaxDiff -- and compares
+construction time plus the accuracy of range COUNT/SUM queries answered
+from the summary alone.
+
+Usage::
+
+    python examples/warehouse_aqp.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import time_call
+from repro.datasets import warehouse_measure_column
+from repro.warehouse import AttributeSummary, Relation
+
+ROWS = 100_000
+DOMAIN = 2000
+BUCKETS = 32
+QUERIES = 200
+
+
+def main() -> None:
+    column = warehouse_measure_column(ROWS, seed=2, domain=DOMAIN)
+    relation = Relation({"bytes": column})
+    rng = np.random.default_rng(3)
+    predicates = []
+    for _ in range(QUERIES):
+        low = float(rng.integers(0, DOMAIN))
+        predicates.append((low, low + float(rng.integers(1, DOMAIN // 2))))
+
+    print(f"{ROWS:,} rows, domain {DOMAIN}, {BUCKETS} buckets, "
+          f"{QUERIES} random range predicates\n")
+    print(f"{'method':12s} {'build (s)':>10s} {'avg |count err|':>16s} "
+          f"{'count err %rows':>16s}")
+
+    for method in ("optimal", "approximate", "equal_width", "maxdiff"):
+        summary, build_seconds = time_call(
+            lambda m=method: AttributeSummary.build(
+                relation, "bytes", BUCKETS, method=m, epsilon=0.1
+            )
+        )
+        count_error = 0.0
+        for low, high in predicates:
+            exact_count = relation.count_range("bytes", low, high)
+            count_error += abs(summary.estimate_count(low, high) - exact_count)
+        mean_error = count_error / QUERIES
+        print(f"{method:12s} {build_seconds:>10.3f} {mean_error:>16.1f} "
+              f"{100.0 * mean_error / ROWS:>15.3f}%")
+
+    print("\nThe one-pass approximation matches the optimal DP's accuracy; "
+          "its construction advantage grows with the attribute domain "
+          "(see benchmarks/bench_vs_optimal.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro: streaming V-optimal histograms for querying and estimation.
+
+A full reproduction of Guha & Koudas, *Approximating a Data Stream for
+Querying and Estimation* (ICDE 2002): the fixed-window and agglomerative
+streaming histogram algorithms with their (1 + eps) guarantees, the exact
+V-optimal DP they approximate, the wavelet / APCA / heuristic baselines
+they are evaluated against, and the stream, query, similarity-search and
+warehouse substrates of the paper's experiments.
+
+Quick start::
+
+    from repro import FixedWindowHistogramBuilder
+
+    builder = FixedWindowHistogramBuilder(window_size=1024, num_buckets=16,
+                                          epsilon=0.1)
+    for value in stream:
+        builder.append(value)
+    histogram = builder.histogram()        # synopsis of the last 1024 points
+    estimate = histogram.range_sum(100, 499)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction results.
+"""
+
+from .core import (
+    AgglomerativeHistogramBuilder,
+    Bucket,
+    FixedWindowHistogramBuilder,
+    Histogram,
+    PrefixSums,
+    SlidingPrefixSums,
+    approximate_histogram,
+    minimax_histogram,
+    optimal_error,
+    optimal_histogram,
+)
+from .heuristics import (
+    equal_depth_histogram,
+    equal_width_histogram,
+    maxdiff_histogram,
+)
+from .query import (
+    ContinuousQueryEngine,
+    HistogramMaintainer,
+    StandingQuery,
+    PointQuery,
+    RandomRangeWorkload,
+    RangeQuery,
+    StreamQueryEngine,
+    WaveletMaintainer,
+    measure_accuracy,
+)
+from .mining import HistogramChangeDetector, cluster_series
+from .sketches import GKQuantileSummary, ReservoirSample
+from .streams import SlidingWindow
+from .similarity import SeriesIndex, SubsequenceIndex, VOptimalReducer, apca
+from .warehouse import (
+    AttributeSummary,
+    Relation,
+    StreamingEquiDepthSummary,
+    StreamingWaveletSummary,
+)
+from .wavelets import DynamicWaveletHistogram, WaveletSynopsis
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgglomerativeHistogramBuilder",
+    "AttributeSummary",
+    "Bucket",
+    "ContinuousQueryEngine",
+    "FixedWindowHistogramBuilder",
+    "DynamicWaveletHistogram",
+    "GKQuantileSummary",
+    "Histogram",
+    "HistogramChangeDetector",
+    "HistogramMaintainer",
+    "PointQuery",
+    "PrefixSums",
+    "RandomRangeWorkload",
+    "RangeQuery",
+    "Relation",
+    "ReservoirSample",
+    "SeriesIndex",
+    "SlidingPrefixSums",
+    "SlidingWindow",
+    "StandingQuery",
+    "StreamingEquiDepthSummary",
+    "StreamingWaveletSummary",
+    "StreamQueryEngine",
+    "SubsequenceIndex",
+    "VOptimalReducer",
+    "WaveletMaintainer",
+    "WaveletSynopsis",
+    "apca",
+    "approximate_histogram",
+    "cluster_series",
+    "equal_depth_histogram",
+    "equal_width_histogram",
+    "maxdiff_histogram",
+    "measure_accuracy",
+    "minimax_histogram",
+    "optimal_error",
+    "optimal_histogram",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Experiment harness regenerating every figure/table of the paper."""
+
+from .experiments import (
+    agglomerative_vs_optimal,
+    agglomerative_vs_wavelet,
+    aggregate_variants,
+    change_detection,
+    epsilon_ablation,
+    fig6_accuracy,
+    fig6_time,
+    heuristic_quality,
+    interval_growth_ablation,
+    maintenance_cadence,
+    scaling_ablation,
+    similarity_subsequence,
+    similarity_whole,
+    space_accuracy_sweep,
+    span_breakdown,
+    workload_aware,
+)
+from .harness import ResultTable
+from .timing import Stopwatch, time_call
+
+__all__ = [
+    "ResultTable",
+    "Stopwatch",
+    "agglomerative_vs_optimal",
+    "agglomerative_vs_wavelet",
+    "aggregate_variants",
+    "change_detection",
+    "epsilon_ablation",
+    "fig6_accuracy",
+    "fig6_time",
+    "heuristic_quality",
+    "interval_growth_ablation",
+    "maintenance_cadence",
+    "scaling_ablation",
+    "similarity_subsequence",
+    "similarity_whole",
+    "space_accuracy_sweep",
+    "span_breakdown",
+    "time_call",
+    "workload_aware",
+]

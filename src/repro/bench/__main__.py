@@ -1,0 +1,128 @@
+"""Run every experiment and print its result table.
+
+Usage::
+
+    python -m repro.bench            # full report scale (~2-4 minutes)
+    python -m repro.bench --quick    # smoke scale (~15 seconds)
+
+The same experiment functions back the pytest-benchmark suites in
+``benchmarks/``; this entry point is the convenient way to regenerate the
+EXPERIMENTS.md series in one go.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import experiments
+
+
+def _report_configs(quick: bool) -> list[tuple[str, callable]]:
+    if quick:
+        return [
+            ("Fig 6(a) accuracy, eps=0.5", lambda: experiments.fig6_accuracy(
+                0.5, window_sizes=(128, 256), bucket_counts=(8,),
+                stream_extra=256, evaluations=4, queries_per_evaluation=16)),
+            ("Fig 6(b) accuracy, eps=0.1", lambda: experiments.fig6_accuracy(
+                0.1, window_sizes=(128, 256), bucket_counts=(8,),
+                stream_extra=256, evaluations=4, queries_per_evaluation=16)),
+            ("Fig 6(c) time, eps=0.5", lambda: experiments.fig6_time(
+                0.5, window_sizes=(128, 256), bucket_counts=(8,), arrivals=10)),
+            ("Fig 6(d) time, eps=0.1", lambda: experiments.fig6_time(
+                0.1, window_sizes=(128, 256), bucket_counts=(8,), arrivals=10)),
+            ("E2 agglomerative vs wavelet", lambda:
+                experiments.agglomerative_vs_wavelet(2000, (8, 16), 0.25, 50)),
+            ("E3 agglomerative vs optimal", lambda:
+                experiments.agglomerative_vs_optimal((256, 512), 5000, 16, 0.25, 30)),
+            ("E4 similarity (whole)", lambda:
+                experiments.similarity_whole(60, 128, 16, num_queries=5, k=5)),
+            ("E4 similarity (subsequence)", lambda:
+                experiments.similarity_subsequence(2048, 128, 16, stride=32,
+                                                   num_queries=4)),
+            ("A1 epsilon ablation", lambda:
+                experiments.epsilon_ablation(128, 8, (1.0, 0.25), arrivals=5)),
+            ("A2 scaling ablation", lambda:
+                experiments.scaling_ablation((128, 256), 8, 0.5, arrivals=3)),
+            ("A3 interval growth", lambda:
+                experiments.interval_growth_ablation((128, 256, 512), 8,
+                                                     (0.5, 0.1))),
+            ("A4 aggregate variants", lambda:
+                experiments.aggregate_variants(window=128, queries=40)),
+            ("A5 heuristic quality", lambda:
+                experiments.heuristic_quality((256,), 8)),
+        ]
+    return [
+        ("Fig 6(a) accuracy, eps=0.5", lambda: experiments.fig6_accuracy(0.5)),
+        ("Fig 6(b) accuracy, eps=0.1", lambda: experiments.fig6_accuracy(0.1)),
+        ("Fig 6(c) time, eps=0.5", lambda: experiments.fig6_time(0.5, arrivals=40)),
+        ("Fig 6(d) time, eps=0.1", lambda: experiments.fig6_time(0.1, arrivals=40)),
+        ("E2 agglomerative vs wavelet", lambda:
+            experiments.agglomerative_vs_wavelet(10_000, (8, 16, 32), 0.25, 200)),
+        ("E3 agglomerative vs optimal", lambda:
+            experiments.agglomerative_vs_optimal((512, 1024, 2048, 4096),
+                                                 50_000, 32, 0.25, 100)),
+        ("E4 similarity (whole)", lambda:
+            experiments.similarity_whole(200, 256, 16, num_queries=20, k=10)),
+        ("E4 similarity (subsequence)", lambda:
+            experiments.similarity_subsequence(8192, 256, 16, stride=16,
+                                               num_queries=10)),
+        ("A1 epsilon ablation", lambda:
+            experiments.epsilon_ablation(512, 8, (1.0, 0.5, 0.2, 0.1, 0.05),
+                                         arrivals=30)),
+        ("A2 scaling ablation", lambda:
+            experiments.scaling_ablation((128, 256, 512, 1024, 2048), 8, 0.25,
+                                         arrivals=10)),
+        ("A3 interval growth", lambda:
+            experiments.interval_growth_ablation()),
+        ("A4 aggregate variants", lambda:
+            experiments.aggregate_variants(window=512, queries=200)),
+        ("A5 heuristic quality", lambda:
+            experiments.heuristic_quality((256, 1024, 4096), 16)),
+        ("A6 change detection", lambda:
+            experiments.change_detection(window_sizes=(64, 128, 256))),
+        ("A7 span breakdown", lambda:
+            experiments.span_breakdown(window=512)),
+        ("A8 space/accuracy sweep", lambda:
+            experiments.space_accuracy_sweep(length=2048)),
+        ("A9 maintenance cadence", lambda:
+            experiments.maintenance_cadence(window=512)),
+        ("A10 workload-aware", lambda:
+            experiments.workload_aware(window=512)),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate every experiment table of the reproduction.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny scale, ~15 seconds total"
+    )
+    parser.add_argument(
+        "--only", metavar="SUBSTR", default=None,
+        help="run only experiments whose name contains SUBSTR",
+    )
+    args = parser.parse_args(argv)
+
+    configs = _report_configs(args.quick)
+    if args.only:
+        configs = [(name, fn) for name, fn in configs if args.only in name]
+        if not configs:
+            parser.error(f"no experiment matches {args.only!r}")
+
+    overall_start = time.perf_counter()
+    for name, fn in configs:
+        started = time.perf_counter()
+        table = fn()
+        elapsed = time.perf_counter() - started
+        print(f"\n### {name}  [{elapsed:.1f}s]\n")
+        print(table.render())
+    print(f"\nTotal: {time.perf_counter() - overall_start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

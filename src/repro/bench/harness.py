@@ -1,0 +1,81 @@
+"""Result tables for the experiment harness.
+
+Every experiment in :mod:`repro.bench.experiments` returns a
+:class:`ResultTable`: named columns, typed rows, and a fixed-width text
+rendering that mirrors how the paper reports its series (one row per
+parameter setting, one column per compared method).  Tables can be
+serialized to simple TSV for archival in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["ResultTable"]
+
+
+class ResultTable:
+    """An ordered collection of homogeneous result rows."""
+
+    def __init__(self, title: str, columns: Iterable[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        if not self.columns:
+            raise ValueError("a result table needs at least one column")
+        self._rows: list[dict[str, Any]] = []
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns {sorted(unknown)}")
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"missing columns {sorted(missing)}")
+        self._rows.append(dict(values))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def rows(self) -> list[dict[str, Any]]:
+        return [dict(row) for row in self._rows]
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r}")
+        return [row[name] for row in self._rows]
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e6 or abs(value) < 1e-3:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def render(self) -> str:
+        """Fixed-width text rendering, paper-table style."""
+        cells = [[self._format(row[c]) for c in self.columns] for row in self._rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in cells:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_tsv(self) -> str:
+        lines = ["\t".join(self.columns)]
+        for row in self._rows:
+            lines.append("\t".join(self._format(row[c]) for c in self.columns))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

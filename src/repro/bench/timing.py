@@ -1,0 +1,39 @@
+"""Small timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = ["time_call", "Stopwatch"]
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` once; return (result, elapsed seconds)."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+class Stopwatch:
+    """Accumulating stopwatch, usable as a context manager.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     pass
+    >>> watch.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._started is not None
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None

@@ -1,0 +1,62 @@
+"""Core histogram algorithms: the paper's contribution and its substrates.
+
+Public surface:
+
+* :class:`Bucket`, :class:`Histogram` -- the synopsis data model.
+* :func:`optimal_histogram` -- the exact O(n^2 B) V-optimal DP ([JKM+98]).
+* :func:`approximate_histogram` -- one-shot (1 + eps)-approximation
+  (paper Problem 2).
+* :class:`AgglomerativeHistogramBuilder` -- one-pass whole-prefix
+  histograms ([GKS01], paper section 4.3).
+* :class:`FixedWindowHistogramBuilder` -- the paper's fixed-window
+  streaming algorithm (section 4.5, Theorem 1).
+"""
+
+from .agglomerative import AgglomerativeHistogramBuilder
+from .approx import approximate_error, approximate_histogram
+from .bucket import Bucket, Histogram
+from .errors import (
+    SAEMetric,
+    SSEMetric,
+    WeightedSSEMetric,
+    naive_sae,
+    naive_sse,
+    sse_of_partition,
+)
+from .fixed_window import FixedWindowHistogramBuilder, RebuildStats
+from .intervals import Certificate, StreamingIntervalQueue
+from .minimax import greedy_threshold_partition, minimax_error, minimax_histogram
+from .optimal import (
+    brute_force_histogram,
+    optimal_error,
+    optimal_error_table,
+    optimal_histogram,
+)
+from .prefix import PrefixSums, SlidingPrefixSums
+
+__all__ = [
+    "AgglomerativeHistogramBuilder",
+    "Bucket",
+    "Certificate",
+    "FixedWindowHistogramBuilder",
+    "Histogram",
+    "PrefixSums",
+    "RebuildStats",
+    "SAEMetric",
+    "SSEMetric",
+    "WeightedSSEMetric",
+    "SlidingPrefixSums",
+    "StreamingIntervalQueue",
+    "approximate_error",
+    "greedy_threshold_partition",
+    "minimax_error",
+    "minimax_histogram",
+    "approximate_histogram",
+    "brute_force_histogram",
+    "naive_sae",
+    "naive_sse",
+    "optimal_error",
+    "optimal_error_table",
+    "optimal_histogram",
+    "sse_of_partition",
+]

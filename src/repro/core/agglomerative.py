@@ -1,0 +1,181 @@
+"""Agglomerative streaming histogram construction (paper section 4.3, [GKS01]).
+
+One pass over the stream, ``B - 1`` interval queues, per-point cost
+``O((B^2 / eps) log n)``: on each arrival the algorithm evaluates
+``HERROR[j, k]`` for every level by minimizing over the endpoints of the
+level-below queue, then feeds the new values back into the queues under the
+``(1 + delta)`` growth rule with ``delta = eps / (2B)``.
+
+The resulting histogram covers the *entire prefix seen so far* (the
+agglomerative data-stream model, paper Fig. 1a) and its SSE is within a
+``(1 + eps)`` factor of the optimal B-bucket histogram.  The builder keeps
+no per-point state beyond the queues, so memory stays polylogarithmic in
+the stream length.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .bucket import Histogram
+from .intervals import Certificate, StreamingIntervalQueue
+
+__all__ = ["AgglomerativeHistogramBuilder"]
+
+
+class AgglomerativeHistogramBuilder:
+    """One-pass epsilon-approximate V-optimal histogram of a growing prefix.
+
+    Parameters
+    ----------
+    num_buckets:
+        The space budget B of the histogram.
+    epsilon:
+        Approximation slack: the emitted histogram's SSE is at most
+        ``(1 + epsilon)`` times the optimal B-bucket SSE of the prefix.
+        Smaller values buy accuracy with more intervals per queue (and
+        therefore more time and memory per point).
+    """
+
+    def __init__(self, num_buckets: int, epsilon: float) -> None:
+        if num_buckets < 1:
+            raise ValueError("need at least one bucket")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.num_buckets = num_buckets
+        self.epsilon = epsilon
+        self.delta = epsilon / (2.0 * num_buckets)
+        # Queue index q maintains intervals of HERROR[., q + 1].
+        self._queues = [
+            StreamingIntervalQueue(self.delta) for _ in range(num_buckets - 1)
+        ]
+        self._count = 0
+        self._running_sum = 0.0
+        self._running_sqsum = 0.0
+        # Raw head of the stream, needed only for the degenerate
+        # fewer-points-than-buckets certificates.
+        self._head: list[float] = []
+        self._final: Certificate | None = None
+
+    def __len__(self) -> int:
+        """Number of stream points consumed so far."""
+        return self._count
+
+    @property
+    def queues(self) -> list[StreamingIntervalQueue]:
+        """The interval queues (exposed for analysis and benchmarks)."""
+        return self._queues
+
+    def queue_sizes(self) -> list[int]:
+        return [len(queue) for queue in self._queues]
+
+    def append(self, value: float) -> None:
+        """Consume one stream point (paper Fig. 3 body)."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"stream values must be finite, got {value}")
+        index = self._count
+        self._count += 1
+        self._running_sum += value
+        self._running_sqsum += value * value
+        if len(self._head) < self.num_buckets:
+            self._head.append(value)
+
+        certificates = self._level_certificates(index)
+        # Feed HERROR[index, k] into queue k for k = 1 .. B-1.
+        for level in range(self.num_buckets - 1):
+            certificate = certificates[level]
+            self._queues[level].observe(
+                index,
+                certificate.error,
+                self._running_sum,
+                self._running_sqsum,
+                certificate,
+            )
+        self._final = certificates[-1]
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.append(value)
+
+    def _level_certificates(self, index: int) -> list[Certificate]:
+        """HERROR certificates for the prefix ``[0..index]`` at levels 1..B."""
+        points = index + 1
+        one_bucket_error = max(
+            0.0, self._running_sqsum - self._running_sum**2 / points
+        )
+        certificates = [
+            Certificate.single_bucket(index, self._running_sum, one_bucket_error)
+        ]
+        for k in range(2, self.num_buckets + 1):
+            if points <= k:
+                certificates.append(Certificate.singletons(self._head[:points]))
+                continue
+            queue = self._queues[k - 2]
+            best = queue.best_split(index, self._running_sum, self._running_sqsum)
+            if best is None:
+                # No endpoints yet (only possible on the very first point,
+                # already handled by the degenerate branch above).
+                certificates.append(certificates[-1])
+                continue
+            _, slot = best
+            base, last_sum, last_error = queue.split_candidate(
+                slot, index, self._running_sum, self._running_sqsum
+            )
+            certificates.append(base.extend(index, last_sum, last_error))
+        return certificates
+
+    @property
+    def error_estimate(self) -> float:
+        """Current SSE estimate of the emitted B-bucket histogram."""
+        if self._final is None:
+            raise ValueError("no points consumed yet")
+        return self._final.error
+
+    def histogram(self) -> Histogram:
+        """The epsilon-approximate B-bucket histogram of the prefix so far."""
+        if self._final is None:
+            raise ValueError("no points consumed yet")
+        return self._final.to_histogram()
+
+    def memory_footprint(self) -> int:
+        """Total interval-queue entries (the dominant state), for analysis."""
+        return sum(len(queue) for queue in self._queues)
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of the whole builder.
+
+        Unlike the fixed-window builder, the agglomerative state is the
+        queues themselves (the stream cannot be replayed), so the snapshot
+        serializes every interval endpoint and certificate -- still
+        polylogarithmic in the stream length.
+        """
+        return {
+            "num_buckets": self.num_buckets,
+            "epsilon": self.epsilon,
+            "count": self._count,
+            "running_sum": self._running_sum,
+            "running_sqsum": self._running_sqsum,
+            "head": list(self._head),
+            "queues": [queue.to_state() for queue in self._queues],
+            "final": self._final.to_dict() if self._final is not None else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AgglomerativeHistogramBuilder":
+        """Inverse of :meth:`to_state`; the resumed builder continues the
+        stream exactly where the original left off."""
+        builder = cls(int(state["num_buckets"]), float(state["epsilon"]))
+        if len(state["queues"]) != builder.num_buckets - 1:
+            raise ValueError("inconsistent snapshot: wrong queue count")
+        builder._count = int(state["count"])
+        builder._running_sum = float(state["running_sum"])
+        builder._running_sqsum = float(state["running_sqsum"])
+        builder._head = [float(v) for v in state["head"]]
+        builder._queues = [
+            StreamingIntervalQueue.from_state(queue_state)
+            for queue_state in state["queues"]
+        ]
+        final = state["final"]
+        builder._final = Certificate.from_dict(final) if final is not None else None
+        return builder

@@ -1,0 +1,42 @@
+"""One-shot epsilon-approximate histograms (paper Problem 2).
+
+For a finite, fully available sequence the fastest path to an
+epsilon-approximate V-optimal histogram is a single agglomerative pass
+([GKS01], section 4.3): ``O((n B^2 / eps) log n)`` time instead of the
+optimal DP's ``O(n^2 B)``, at the cost of a ``(1 + eps)`` factor on the
+SSE.  This module packages that pass behind a plain function, which is the
+entry point used by the warehouse experiments (paper section 5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .agglomerative import AgglomerativeHistogramBuilder
+from .bucket import Histogram
+
+__all__ = ["approximate_histogram", "approximate_error"]
+
+
+def approximate_histogram(values, num_buckets: int, epsilon: float) -> Histogram:
+    """Epsilon-approximate B-bucket histogram of a finite sequence.
+
+    The result's SSE is at most ``(1 + epsilon)`` times the SSE of
+    :func:`repro.core.optimal.optimal_histogram` on the same input.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot build a histogram of an empty sequence")
+    builder = AgglomerativeHistogramBuilder(num_buckets, epsilon)
+    builder.extend(array)
+    return builder.histogram()
+
+
+def approximate_error(values, num_buckets: int, epsilon: float) -> float:
+    """SSE estimate of the approximate histogram, without materializing it."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot build a histogram of an empty sequence")
+    builder = AgglomerativeHistogramBuilder(num_buckets, epsilon)
+    builder.extend(array)
+    return builder.error_estimate

@@ -1,0 +1,197 @@
+"""Histogram data model: buckets, estimation, and exact error accounting.
+
+A :class:`Histogram` is the synopsis produced by every construction
+algorithm in this library.  It tiles positions ``[0, length)`` of the
+approximated sequence with contiguous :class:`Bucket` ranges, each collapsed
+to a single representative value (the bucket mean for the SSE metric, as in
+the paper's section 3).  Point, range-sum and range-average queries are
+answered from the synopsis alone.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Bucket", "Histogram"]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One histogram bucket covering positions ``[start, end]`` inclusive."""
+
+    start: int
+    end: int
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid bucket range [{self.start}, {self.end}]")
+
+    @property
+    def size(self) -> int:
+        """Number of positions covered by the bucket."""
+        return self.end - self.start + 1
+
+    @property
+    def total(self) -> float:
+        """Estimated sum of the values inside the bucket."""
+        return self.value * self.size
+
+    def overlap_sum(self, i: int, j: int) -> float:
+        """Estimated sum of positions in ``[i, j] ∩ [start, end]``."""
+        lo = max(i, self.start)
+        hi = min(j, self.end)
+        if lo > hi:
+            return 0.0
+        return self.value * (hi - lo + 1)
+
+
+class Histogram:
+    """A piecewise-constant synopsis of a finite sequence.
+
+    Buckets must be contiguous, start at position 0, and tile the whole
+    sequence.  Instances are immutable once constructed.
+    """
+
+    def __init__(self, buckets: Iterable[Bucket]) -> None:
+        self._buckets = tuple(buckets)
+        if not self._buckets:
+            raise ValueError("a histogram needs at least one bucket")
+        if self._buckets[0].start != 0:
+            raise ValueError("the first bucket must start at position 0")
+        for previous, current in zip(self._buckets, self._buckets[1:]):
+            if current.start != previous.end + 1:
+                raise ValueError(
+                    f"buckets must be contiguous: [{previous.start}, {previous.end}] "
+                    f"followed by [{current.start}, {current.end}]"
+                )
+        self._starts = [bucket.start for bucket in self._buckets]
+
+    @classmethod
+    def from_boundaries(cls, values, boundaries: Sequence[int]) -> "Histogram":
+        """Build a histogram from bucket-split positions.
+
+        ``boundaries`` holds the last index of each bucket except the final
+        one (strictly increasing); representatives are bucket means.
+        """
+        array = np.asarray(values, dtype=np.float64)
+        if array.size == 0:
+            raise ValueError("cannot build a histogram of an empty sequence")
+        splits = list(boundaries) + [array.size - 1]
+        buckets = []
+        start = 0
+        for split in splits:
+            if split < start or split >= array.size:
+                raise ValueError(f"invalid split {split} (bucket start {start})")
+            segment = array[start : split + 1]
+            buckets.append(Bucket(start, split, float(segment.mean())))
+            start = split + 1
+        return cls(buckets)
+
+    @property
+    def buckets(self) -> tuple[Bucket, ...]:
+        return self._buckets
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        """Length of the approximated sequence."""
+        return self._buckets[-1].end + 1
+
+    def __iter__(self):
+        return iter(self._buckets)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self._buckets == other._buckets
+
+    def __hash__(self) -> int:
+        return hash(self._buckets)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.num_buckets} buckets over {len(self)} points)"
+
+    def boundaries(self) -> list[int]:
+        """Bucket-split positions (last index of each non-final bucket)."""
+        return [bucket.end for bucket in self._buckets[:-1]]
+
+    def _bucket_index(self, position: int) -> int:
+        if not (0 <= position < len(self)):
+            raise IndexError(f"position {position} out of range for length {len(self)}")
+        return bisect.bisect_right(self._starts, position) - 1
+
+    def point_estimate(self, position: int) -> float:
+        """Estimate the value at a single position."""
+        return self._buckets[self._bucket_index(position)].value
+
+    def range_sum(self, i: int, j: int) -> float:
+        """Estimate the sum of values in positions ``[i, j]`` inclusive."""
+        if i > j:
+            raise ValueError(f"empty range [{i}, {j}]")
+        first = self._bucket_index(i)
+        last = self._bucket_index(j)
+        return sum(self._buckets[k].overlap_sum(i, j) for k in range(first, last + 1))
+
+    def range_average(self, i: int, j: int) -> float:
+        """Estimate the average of values in positions ``[i, j]`` inclusive."""
+        return self.range_sum(i, j) / (j - i + 1)
+
+    def to_array(self) -> np.ndarray:
+        """Reconstruct the full approximate sequence."""
+        out = np.empty(len(self), dtype=np.float64)
+        for bucket in self._buckets:
+            out[bucket.start : bucket.end + 1] = bucket.value
+        return out
+
+    def sse(self, values) -> float:
+        """Exact SSE between this histogram and the true values."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.size != len(self):
+            raise ValueError(
+                f"value length {array.size} does not match histogram length {len(self)}"
+            )
+        return float(np.sum((array - self.to_array()) ** 2))
+
+    def rebucket_means(self, values) -> "Histogram":
+        """Same boundaries, representatives recomputed as exact means."""
+        return Histogram.from_boundaries(values, self.boundaries())
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-bucket rendering."""
+        lines = [
+            f"[{bucket.start:>6}, {bucket.end:>6}] -> {bucket.value:.4f}"
+            for bucket in self._buckets
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (see :meth:`from_dict`)."""
+        return {
+            "length": len(self),
+            "ends": [bucket.end for bucket in self._buckets],
+            "values": [bucket.value for bucket in self._buckets],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        """Inverse of :meth:`to_dict`."""
+        ends = payload["ends"]
+        values = payload["values"]
+        if len(ends) != len(values):
+            raise ValueError("ends and values must have equal length")
+        buckets = []
+        start = 0
+        for end, value in zip(ends, values):
+            buckets.append(Bucket(start, int(end), float(value)))
+            start = int(end) + 1
+        histogram = cls(buckets)
+        if len(histogram) != payload.get("length", len(histogram)):
+            raise ValueError("length field inconsistent with bucket ends")
+        return histogram

@@ -1,0 +1,277 @@
+"""Interval covers of the ``HERROR`` curve (paper sections 4.2-4.3).
+
+Both streaming algorithms approximate the non-decreasing function
+``HERROR[., k]`` by a set of intervals whose endpoints carry function
+values within a ``(1 + delta)`` factor of the interval start.  Minimizing
+``HERROR[i, k-1] + SQERROR[i+1, j]`` over interval *endpoints* instead of
+all ``i`` is what turns the quadratic DP into a streaming algorithm.
+
+This module provides:
+
+* :class:`Certificate` -- a self-contained description of one candidate
+  partition (split positions, per-bucket sums and the SSE estimate), so a
+  builder can emit a real :class:`~repro.core.bucket.Histogram` without
+  access to the raw stream.
+* :class:`StreamingIntervalQueue` -- one persistent queue of the
+  agglomerative algorithm (paper Fig. 3), storing prefix sums at interval
+  endpoints and supporting a vectorized candidate minimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bucket import Bucket, Histogram
+
+__all__ = ["Certificate", "StreamingIntervalQueue", "RELATIVE_TOLERANCE"]
+
+#: Relative slack absorbed by floating-point comparisons throughout the
+#: streaming algorithms.  The (1+delta) growth tests and binary searches all
+#: allow this much extra relative error so that exact ties (very common with
+#: integer-valued streams) are not broken by rounding.
+RELATIVE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A candidate B-bucket partition of the prefix ``[0 .. end]``.
+
+    ``splits`` are the last indices of all buckets except the final one;
+    ``bucket_sums`` has one entry per bucket (``len(splits) + 1`` values);
+    ``error`` is the SSE estimate accumulated while composing the partition
+    level by level.  Because each bucket's error term is the exact
+    ``SQERROR`` of that bucket, ``error`` equals the true SSE of the
+    partition it describes.
+    """
+
+    end: int
+    splits: tuple[int, ...]
+    bucket_sums: tuple[float, ...]
+    error: float
+
+    @classmethod
+    def single_bucket(cls, end: int, total: float, sqerror: float) -> "Certificate":
+        """Partition of ``[0..end]`` into one bucket."""
+        return cls(end, (), (total,), sqerror)
+
+    @classmethod
+    def singletons(cls, values) -> "Certificate":
+        """Degenerate partition with every point its own bucket (zero error)."""
+        sums = tuple(float(v) for v in values)
+        if not sums:
+            raise ValueError("cannot certify an empty prefix")
+        return cls(len(sums) - 1, tuple(range(len(sums) - 1)), sums, 0.0)
+
+    def extend(self, end: int, last_sum: float, last_sqerror: float) -> "Certificate":
+        """Append a final bucket ``[self.end + 1 .. end]``."""
+        if end <= self.end:
+            raise ValueError(f"new end {end} must exceed current end {self.end}")
+        return Certificate(
+            end,
+            self.splits + (self.end,),
+            self.bucket_sums + (last_sum,),
+            self.error + last_sqerror,
+        )
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.bucket_sums)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see :meth:`from_dict`)."""
+        return {
+            "end": self.end,
+            "splits": list(self.splits),
+            "bucket_sums": list(self.bucket_sums),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Certificate":
+        return cls(
+            int(payload["end"]),
+            tuple(int(s) for s in payload["splits"]),
+            tuple(float(s) for s in payload["bucket_sums"]),
+            float(payload["error"]),
+        )
+
+    def to_histogram(self) -> Histogram:
+        """Materialize the partition as a histogram with mean representatives."""
+        bounds = self.splits + (self.end,)
+        buckets = []
+        start = 0
+        for split, total in zip(bounds, self.bucket_sums):
+            buckets.append(Bucket(start, split, total / (split - start + 1)))
+            start = split + 1
+        return Histogram(buckets)
+
+
+class StreamingIntervalQueue:
+    """Interval cover of ``HERROR[., k]`` maintained over an unbounded stream.
+
+    Each interval ``(a, b)`` satisfies ``HERROR[b, k] <= (1+delta) *
+    HERROR[a, k]``; a new interval opens when the incoming value breaks the
+    bound (paper Fig. 3, lines 7-10).  Endpoint state (prefix sum, prefix
+    sum of squares, the HERROR estimate and its certificate) lives in
+    growable parallel arrays so candidate minimization is one vectorized
+    pass.
+    """
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self, delta: float) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self._delta = delta
+        self._size = 0
+        capacity = self._INITIAL_CAPACITY
+        self._ends = np.empty(capacity, dtype=np.intp)
+        self._herror_end = np.empty(capacity, dtype=np.float64)
+        self._sum_end = np.empty(capacity, dtype=np.float64)
+        self._sqsum_end = np.empty(capacity, dtype=np.float64)
+        self._starts: list[int] = []
+        self._herror_start: list[float] = []
+        self._certificates: list[Certificate] = []
+
+    def __len__(self) -> int:
+        """Number of intervals currently stored."""
+        return self._size
+
+    @property
+    def delta(self) -> float:
+        return self._delta
+
+    def endpoints(self) -> np.ndarray:
+        return self._ends[: self._size].copy()
+
+    def interval_bounds(self) -> list[tuple[int, int]]:
+        """The interval cover as (start, end) pairs, for analysis."""
+        return [
+            (self._starts[i], int(self._ends[i])) for i in range(self._size)
+        ]
+
+    def _grow(self) -> None:
+        capacity = self._ends.size * 2
+        for name in ("_ends", "_herror_end", "_sum_end", "_sqsum_end"):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[: self._size] = old[: self._size]
+            setattr(self, name, new)
+
+    def observe(
+        self,
+        index: int,
+        herror: float,
+        prefix_sum: float,
+        prefix_sqsum: float,
+        certificate: Certificate,
+    ) -> None:
+        """Record ``HERROR[index, k]`` after the point at ``index`` arrived.
+
+        Either extends the last interval (overwriting its endpoint state)
+        or opens a new single-point interval, following the (1+delta)
+        growth rule.
+        """
+        opens_new = (
+            self._size == 0
+            or herror
+            > (1.0 + self._delta) * self._herror_start[-1] * (1.0 + RELATIVE_TOLERANCE)
+            + RELATIVE_TOLERANCE
+        )
+        if opens_new:
+            if self._size == self._ends.size:
+                self._grow()
+            slot = self._size
+            self._size += 1
+            self._starts.append(index)
+            self._herror_start.append(herror)
+            self._certificates.append(certificate)
+        else:
+            slot = self._size - 1
+            self._certificates[slot] = certificate
+        self._ends[slot] = index
+        self._herror_end[slot] = herror
+        self._sum_end[slot] = prefix_sum
+        self._sqsum_end[slot] = prefix_sqsum
+
+    def best_split(
+        self, index: int, prefix_sum: float, prefix_sqsum: float
+    ) -> tuple[float, int] | None:
+        """Best ``HERROR[e, k] + SQERROR[e+1, index]`` over stored endpoints.
+
+        All stored endpoints precede ``index`` (the caller minimizes before
+        observing the new point), so every candidate split leaves the final
+        bucket non-empty.  Returns ``(value, slot)`` or ``None`` if the
+        queue is empty.
+        """
+        if self._size == 0:
+            return None
+        ends = self._ends[: self._size]
+        lengths = index - ends
+        totals = prefix_sum - self._sum_end[: self._size]
+        sqs = prefix_sqsum - self._sqsum_end[: self._size]
+        tail_errors = np.maximum(sqs - totals * totals / lengths, 0.0)
+        candidates = self._herror_end[: self._size] + tail_errors
+        slot = int(np.argmin(candidates))
+        return float(candidates[slot]), slot
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of the queue (see :meth:`from_state`)."""
+        size = self._size
+        return {
+            "delta": self._delta,
+            "ends": self._ends[:size].tolist(),
+            "herror_end": self._herror_end[:size].tolist(),
+            "sum_end": self._sum_end[:size].tolist(),
+            "sqsum_end": self._sqsum_end[:size].tolist(),
+            "starts": list(self._starts),
+            "herror_start": list(self._herror_start),
+            "certificates": [c.to_dict() for c in self._certificates],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingIntervalQueue":
+        queue = cls(float(state["delta"]))
+        size = len(state["ends"])
+        if not (
+            size
+            == len(state["herror_end"])
+            == len(state["sum_end"])
+            == len(state["sqsum_end"])
+            == len(state["starts"])
+            == len(state["herror_start"])
+            == len(state["certificates"])
+        ):
+            raise ValueError("inconsistent queue snapshot")
+        while queue._ends.size < size:
+            queue._grow()
+        queue._size = size
+        queue._ends[:size] = np.asarray(state["ends"], dtype=np.intp)
+        queue._herror_end[:size] = state["herror_end"]
+        queue._sum_end[:size] = state["sum_end"]
+        queue._sqsum_end[:size] = state["sqsum_end"]
+        queue._starts = [int(s) for s in state["starts"]]
+        queue._herror_start = [float(h) for h in state["herror_start"]]
+        queue._certificates = [
+            Certificate.from_dict(c) for c in state["certificates"]
+        ]
+        return queue
+
+    def split_candidate(
+        self, slot: int, index: int, prefix_sum: float, prefix_sqsum: float
+    ) -> tuple[Certificate, float, float]:
+        """Certificate pieces for extending endpoint ``slot`` to ``index``.
+
+        Returns the endpoint's certificate plus the final-bucket sum and
+        SQERROR for the bucket ``[endpoint + 1 .. index]``.
+        """
+        if not (0 <= slot < self._size):
+            raise IndexError(f"slot {slot} out of range")
+        end = int(self._ends[slot])
+        length = index - end
+        total = prefix_sum - float(self._sum_end[slot])
+        sq = prefix_sqsum - float(self._sqsum_end[slot])
+        tail_error = max(0.0, sq - total * total / length)
+        return self._certificates[slot], total, tail_error

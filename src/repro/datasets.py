@@ -1,0 +1,144 @@
+"""Benchmark datasets (substitutes for the paper's proprietary AT&T data).
+
+The paper's evaluation uses 1M-point time series "extracted from
+operational data warehouses maintained at AT&T Labs, representing
+utilization information of one of the services provided by the company"
+(section 5), plus warehouse extracts and collections of time series for
+the similarity experiments.  Those traces are not public, so this module
+generates seeded synthetic stand-ins that reproduce the structural
+properties the algorithms are sensitive to:
+
+* ``att_utilization_stream`` -- diurnal periodicity + AR(1) noise + level
+  shifts + heavy-tailed bursts, integer-quantized.  Piecewise-smooth with
+  abrupt transitions, the regime where bucket placement matters.
+* ``warehouse_measure_column`` -- a skewed (Zipf-mixture) measure column
+  for the approximate-query-answering experiment.
+* ``timeseries_collection`` -- families of related series (shared shape,
+  per-series warp/scale/noise) for the similarity-search experiment.
+
+Every function is deterministic given its seed; see DESIGN.md section 4
+for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "att_utilization_stream",
+    "warehouse_measure_column",
+    "timeseries_collection",
+]
+
+
+def att_utilization_stream(length: int, seed: int = 7) -> np.ndarray:
+    """Synthetic service-utilization stream standing in for the AT&T trace.
+
+    Components: a daily cycle (period 288 ~ five-minute samples), AR(1)
+    measurement noise, occasional sustained level shifts (capacity
+    reconfigurations), and Pareto-sized bursts (traffic spikes).  Values
+    are non-negative integers as the paper's model assumes.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    cycle = 400.0 * np.sin(2.0 * np.pi * t / 288.0)
+
+    noise = np.empty(length)
+    ar = 0.0
+    shocks = rng.normal(0.0, 20.0, size=length)
+    for i in range(length):
+        ar = 0.9 * ar + shocks[i]
+        noise[i] = ar
+
+    # Sustained level shifts at random change points.
+    level = np.zeros(length)
+    position = 0
+    current = 1000.0
+    while position < length:
+        span = int(rng.integers(500, 5000))
+        level[position : position + span] = current
+        current = float(rng.uniform(600.0, 1600.0))
+        position += span
+
+    # Heavy-tailed bursts with short dwell.
+    bursts = np.zeros(length)
+    n_bursts = max(1, length // 400)
+    starts = rng.integers(0, length, size=n_bursts)
+    for start in starts:
+        dwell = int(rng.integers(2, 30))
+        height = 500.0 * (rng.pareto(1.8) + 1.0)
+        bursts[start : start + dwell] += height
+
+    values = np.clip(level + cycle + noise + bursts, 0.0, None)
+    return np.round(values)
+
+
+def warehouse_measure_column(rows: int, seed: int = 11, domain: int = 1000) -> np.ndarray:
+    """Skewed warehouse measure column (Zipf mixture), values in [0, domain].
+
+    Models the measure distribution whose histogram a warehouse keeps for
+    approximate aggregation (paper section 5.2): mostly small values with
+    a long heavy tail, plus a few modal clusters.  ``domain`` controls the
+    number of distinct values, i.e. the length of the frequency vector the
+    construction algorithms must approximate.
+    """
+    if rows < 1:
+        raise ValueError("rows must be >= 1")
+    if domain < 10:
+        raise ValueError("domain must be >= 10")
+    rng = np.random.default_rng(seed)
+    scale = domain / 1000.0
+    tail = rng.zipf(1.4, size=rows).astype(np.float64) * scale
+    modes = rng.choice(
+        [50.0 * scale, 400.0 * scale, 900.0 * scale], size=rows, p=[0.7, 0.2, 0.1]
+    )
+    jitter = rng.normal(0.0, 10.0 * scale, size=rows)
+    values = np.where(rng.random(rows) < 0.3, tail, modes + jitter)
+    return np.round(np.clip(values, 0.0, float(domain)))
+
+
+def timeseries_collection(
+    count: int,
+    length: int,
+    families: int = 4,
+    seed: int = 13,
+    return_families: bool = False,
+):
+    """A collection of related time series for similarity search.
+
+    Series come in ``families`` shape families (random smooth prototypes);
+    members are scaled, shifted and noised copies, so nearest neighbours
+    are meaningful and false-positive counting (paper section 5.2) is
+    informative.  Returns an array of shape ``(count, length)``; with
+    ``return_families=True`` also returns the per-series family labels
+    (used by the clustering experiments as ground truth).
+    """
+    if count < 1 or length < 4:
+        raise ValueError("need count >= 1 and length >= 4")
+    if families < 1:
+        raise ValueError("families must be >= 1")
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 1.0, length)
+    prototypes = []
+    for _ in range(families):
+        waves = sum(
+            rng.uniform(0.5, 2.0) * np.sin(2.0 * np.pi * rng.integers(1, 6) * t + rng.uniform(0, 2 * np.pi))
+            for _ in range(3)
+        )
+        steps = np.cumsum(rng.normal(0.0, 0.15, size=length))
+        prototypes.append(waves + steps)
+
+    collection = np.empty((count, length))
+    labels = np.empty(count, dtype=np.intp)
+    for i in range(count):
+        family = int(rng.integers(families))
+        labels[i] = family
+        scale = rng.uniform(0.6, 1.6)
+        offset = rng.uniform(-1.0, 1.0)
+        noise = rng.normal(0.0, 0.1, size=length)
+        collection[i] = scale * prototypes[family] + offset + noise
+    if return_families:
+        return collection, labels
+    return collection

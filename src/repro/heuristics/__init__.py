@@ -1,0 +1,19 @@
+"""Classic heuristic histograms and cheap construction routes.
+
+Baselines against which the paper's guaranteed algorithms are measured:
+equi-width, equi-depth and MaxDiff partitions, local-search refinement,
+and sampling-based construction.
+"""
+
+from .iterative import iterative_histogram, refine_histogram
+from .sampled import sampled_histogram
+from .serial import equal_depth_histogram, equal_width_histogram, maxdiff_histogram
+
+__all__ = [
+    "equal_depth_histogram",
+    "equal_width_histogram",
+    "iterative_histogram",
+    "maxdiff_histogram",
+    "refine_histogram",
+    "sampled_histogram",
+]

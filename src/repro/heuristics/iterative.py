@@ -1,0 +1,71 @@
+"""Local-search histogram refinement.
+
+A classic middle ground between the O(n^2 B) optimal DP and the O(n)
+heuristics: start from any partition and repeatedly move each boundary to
+its locally optimal position between its two neighbours until no move
+improves the SSE.  Each sweep is O(nB) (the per-boundary optimum is one
+vectorized pass over the candidate positions), convergence is to a local
+optimum, and in practice a handful of sweeps from an equal-width start
+lands close to V-optimal -- the ablation benchmarks quantify how close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bucket import Histogram
+from ..core.prefix import PrefixSums
+from .serial import equal_width_histogram
+
+__all__ = ["refine_histogram", "iterative_histogram"]
+
+
+def _best_move(prefix: PrefixSums, left_start: int, right_end: int) -> tuple[int, float]:
+    """Optimal single split of ``[left_start .. right_end]`` into two buckets."""
+    candidates = np.arange(left_start, right_end)
+    left_errors = prefix.sqerror_prefixes(left_start, candidates)
+    right_errors = prefix.sqerror_suffixes(candidates + 1, right_end)
+    totals = left_errors + right_errors
+    slot = int(np.argmin(totals))
+    return int(candidates[slot]), float(totals[slot])
+
+
+def refine_histogram(values, start: Histogram, max_sweeps: int = 20) -> Histogram:
+    """Coordinate-descent refinement of an existing partition.
+
+    Sweeps over the boundaries, re-optimizing each with its neighbours
+    fixed, until a full sweep makes no move (or ``max_sweeps`` runs out).
+    The SSE never increases; the result is a local optimum under
+    single-boundary moves.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size != len(start):
+        raise ValueError(
+            f"value length {array.size} does not match histogram length {len(start)}"
+        )
+    if max_sweeps < 0:
+        raise ValueError("max_sweeps must be non-negative")
+    prefix = PrefixSums(array)
+    splits = start.boundaries()
+    if not splits:
+        return Histogram.from_boundaries(array, splits)
+
+    for _ in range(max_sweeps):
+        moved = False
+        for index in range(len(splits)):
+            left_start = 0 if index == 0 else splits[index - 1] + 1
+            right_end = array.size - 1 if index == len(splits) - 1 else splits[index + 1]
+            best, _ = _best_move(prefix, left_start, right_end)
+            if best != splits[index]:
+                splits[index] = best
+                moved = True
+        if not moved:
+            break
+    return Histogram.from_boundaries(array, splits)
+
+
+def iterative_histogram(values, num_buckets: int, max_sweeps: int = 20) -> Histogram:
+    """Equal-width start + local-search refinement."""
+    array = np.asarray(values, dtype=np.float64)
+    start = equal_width_histogram(array, num_buckets)
+    return refine_histogram(array, start, max_sweeps=max_sweeps)

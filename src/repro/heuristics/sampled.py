@@ -1,0 +1,55 @@
+"""Sampling-based histogram construction ([SRL99]-style baseline).
+
+Random sampling is the classic space-efficient alternative to streaming
+summaries: draw a uniform position sample of the sequence, solve the
+(cheap, small) V-optimal problem on the sample, and map the sample's
+bucket boundaries back to the full sequence.  Representatives are then
+recomputed exactly from full prefix sums, so only the *boundaries* carry
+sampling error.  The ablation benchmarks compare this route against the
+one-pass (1 + eps)-approximation, which inspects every point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bucket import Histogram
+from ..core.optimal import optimal_histogram
+
+__all__ = ["sampled_histogram"]
+
+
+def sampled_histogram(
+    values, num_buckets: int, sample_size: int = 256, seed: int = 0
+) -> Histogram:
+    """V-optimal boundaries estimated from a uniform position sample.
+
+    ``sample_size`` positions (sorted, without replacement when possible)
+    are drawn; the optimal histogram of the sampled subsequence supplies
+    the boundary layout, stretched back to full resolution.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot build a histogram of an empty sequence")
+    if num_buckets < 1:
+        raise ValueError("need at least one bucket")
+    if sample_size < 1:
+        raise ValueError("sample_size must be >= 1")
+
+    if sample_size >= array.size:
+        return optimal_histogram(array, num_buckets)
+
+    rng = np.random.default_rng(seed)
+    positions = np.sort(rng.choice(array.size, size=sample_size, replace=False))
+    sample = array[positions]
+    sketch = optimal_histogram(sample, num_buckets)
+
+    # Map each sample-space split to the midpoint between the bracketing
+    # original positions, so boundaries interpolate the sampling gaps.
+    splits = []
+    for sample_split in sketch.boundaries():
+        left = int(positions[sample_split])
+        right = int(positions[sample_split + 1])
+        splits.append((left + right) // 2)
+    splits = sorted({s for s in splits if 0 <= s < array.size - 1})
+    return Histogram.from_boundaries(array, splits)

@@ -1,0 +1,80 @@
+"""Classic heuristic histograms over serial data.
+
+The paper frames V-optimal construction against the long line of heuristic
+histograms from the classic (finite-data) problem ([IP95], [PI97]).  These
+serve as cheap baselines and as ablation points: they are O(n) or
+O(n log n) to build but carry no approximation guarantee.
+
+All functions partition the *positions* of a sequence (the serial-data
+formulation used throughout the paper).  Approximating a value
+*distribution* reduces to the same problem by sorting the values first,
+which is how :mod:`repro.warehouse` uses them: an equal-length partition of
+the sorted sequence is exactly the classic equi-depth histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bucket import Histogram
+
+__all__ = ["equal_width_histogram", "equal_depth_histogram", "maxdiff_histogram"]
+
+
+def _validate(n: int, num_buckets: int) -> int:
+    if n < 1:
+        raise ValueError("cannot build a histogram of an empty sequence")
+    if num_buckets < 1:
+        raise ValueError("need at least one bucket")
+    return min(num_buckets, n)
+
+
+def equal_width_histogram(values, num_buckets: int) -> Histogram:
+    """Partition positions into ``num_buckets`` (near-)equal-length buckets."""
+    array = np.asarray(values, dtype=np.float64)
+    buckets = _validate(array.size, num_buckets)
+    edges = np.linspace(0, array.size, buckets + 1).round().astype(int)
+    splits = [int(edge) - 1 for edge in edges[1:-1]]
+    # Deduplicate any collapsed edges on very short inputs.
+    splits = sorted({s for s in splits if 0 <= s < array.size - 1})
+    return Histogram.from_boundaries(array, splits)
+
+
+def equal_depth_histogram(values, num_buckets: int) -> Histogram:
+    """Bucket boundaries at (near-)equal shares of the total value mass.
+
+    Each bucket covers roughly ``sum(values) / B`` of cumulative mass --
+    the serial analogue of the classic equi-depth histogram (exactly
+    equi-depth when ``values`` are the sorted frequencies of a
+    distribution).  Requires non-negative values.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    buckets = _validate(array.size, num_buckets)
+    if np.any(array < 0):
+        raise ValueError("equal-depth partitioning requires non-negative values")
+    total = float(array.sum())
+    if total == 0.0:
+        return equal_width_histogram(array, buckets)
+    cumulative = np.cumsum(array)
+    targets = total * np.arange(1, buckets) / buckets
+    splits = np.searchsorted(cumulative, targets, side="left")
+    splits = sorted({int(s) for s in splits if 0 <= s < array.size - 1})
+    return Histogram.from_boundaries(array, splits)
+
+
+def maxdiff_histogram(values, num_buckets: int) -> Histogram:
+    """Boundaries at the ``B - 1`` largest adjacent differences (MaxDiff).
+
+    The MaxDiff(V, A) heuristic of Poosala et al. adapted to serial data:
+    split where consecutive values differ the most, so flat runs stay in
+    one bucket.  O(n log n) and often close to V-optimal on piecewise-
+    constant data, but with no guarantee -- see the ablation benchmarks.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    buckets = _validate(array.size, num_buckets)
+    if array.size == 1 or buckets == 1:
+        return Histogram.from_boundaries(array, [])
+    gaps = np.abs(np.diff(array))
+    order = np.lexsort((np.arange(gaps.size), -gaps))
+    splits = sorted(int(i) for i in order[: buckets - 1])
+    return Histogram.from_boundaries(array, splits)

@@ -1,0 +1,22 @@
+"""Stream-mining applications of the histogram synopses (paper section 6).
+
+The paper's closing section points at data-mining uses of the incremental
+histograms; this package implements the two most direct ones:
+distribution change detection over a stream and clustering collections of
+series by their histogram features.
+"""
+
+from .changepoint import ChangeEvent, HistogramChangeDetector
+from .clustering import ClusteringResult, cluster_series, histogram_features
+from .distances import histogram_l1, histogram_l2, merged_breakpoints
+
+__all__ = [
+    "ChangeEvent",
+    "ClusteringResult",
+    "HistogramChangeDetector",
+    "cluster_series",
+    "histogram_features",
+    "histogram_l1",
+    "histogram_l2",
+    "merged_breakpoints",
+]

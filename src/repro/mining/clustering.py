@@ -1,0 +1,119 @@
+"""Clustering collections of series by their histogram features.
+
+The paper's outlook (section 6) and its citation of stream clustering
+[GMMO00] motivate the second mining application: group series by the
+shape of their synopses.  Series are reduced to fixed-dimension feature
+vectors (the reconstruction of their B-bucket histogram, resampled to a
+common grid) and clustered with seeded k-means.  Because the features
+come from (1 + eps)-optimal histograms, two series cluster together
+exactly when their dominant piecewise-constant structure matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..similarity.features import Reducer, VOptimalReducer
+
+__all__ = ["ClusteringResult", "histogram_features", "cluster_series"]
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Assignments plus the final centroids and inertia."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+
+    @property
+    def num_clusters(self) -> int:
+        return self.centroids.shape[0]
+
+
+def histogram_features(
+    collection, reducer: Reducer | None = None, grid: int = 32
+) -> np.ndarray:
+    """Feature matrix: each series' histogram reconstruction on a grid.
+
+    Resampling the piecewise-constant reconstruction onto ``grid`` points
+    gives every series the same dimensionality regardless of where its
+    bucket boundaries fall.
+    """
+    series_matrix = np.asarray(collection, dtype=np.float64)
+    if series_matrix.ndim != 2:
+        raise ValueError("collection must be a 2-D array of series")
+    if grid < 1:
+        raise ValueError("grid must be >= 1")
+    reducer = reducer or VOptimalReducer(16, epsilon=0.1)
+    length = series_matrix.shape[1]
+    positions = np.linspace(0, length - 1, grid).round().astype(int)
+    features = np.empty((series_matrix.shape[0], grid))
+    for row, series in enumerate(series_matrix):
+        dense = reducer.reduce(series).to_array()
+        features[row] = dense[positions]
+    return features
+
+
+def _kmeans(features: np.ndarray, k: int, seed: int, iterations: int) -> ClusteringResult:
+    rng = np.random.default_rng(seed)
+    n = features.shape[0]
+    # k-means++ style seeding: spread the initial centroids.
+    centroids = [features[int(rng.integers(n))]]
+    for _ in range(k - 1):
+        distances = np.min(
+            [np.sum((features - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = float(distances.sum())
+        if total <= 0:
+            centroids.append(features[int(rng.integers(n))])
+            continue
+        draw = rng.random() * total
+        centroids.append(features[int(np.searchsorted(np.cumsum(distances), draw))])
+    centroid_matrix = np.asarray(centroids)
+
+    labels = np.zeros(n, dtype=np.intp)
+    for _ in range(iterations):
+        distances = np.stack(
+            [np.sum((features - c) ** 2, axis=1) for c in centroid_matrix]
+        )
+        new_labels = np.argmin(distances, axis=0)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = features[labels == cluster]
+            if members.size:
+                centroid_matrix[cluster] = members.mean(axis=0)
+    inertia = float(
+        np.sum((features - centroid_matrix[labels]) ** 2)
+    )
+    return ClusteringResult(labels, centroid_matrix, inertia)
+
+
+def cluster_series(
+    collection,
+    k: int,
+    reducer: Reducer | None = None,
+    grid: int = 32,
+    seed: int = 0,
+    iterations: int = 50,
+    restarts: int = 4,
+) -> ClusteringResult:
+    """Cluster a collection of equal-length series into ``k`` groups.
+
+    Runs seeded k-means ``restarts`` times over histogram features and
+    keeps the lowest-inertia result.  Deterministic given ``seed``.
+    """
+    features = histogram_features(collection, reducer, grid)
+    if not (1 <= k <= features.shape[0]):
+        raise ValueError(f"k must be in [1, {features.shape[0]}]")
+    best: ClusteringResult | None = None
+    for restart in range(restarts):
+        result = _kmeans(features, k, seed + restart, iterations)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,60 @@
+"""Distances between histogram synopses.
+
+Stream-mining on histogram synopses (the paper's section 6 outlook) needs
+a way to compare two histograms of equal-length windows.  Because every
+synopsis in this library is a piecewise-constant function over positions,
+the natural distances are function-space norms of the reconstructions --
+computable directly from the bucket structure in O(B1 + B2) without
+materializing the windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bucket import Histogram
+
+__all__ = ["histogram_l2", "histogram_l1", "merged_breakpoints"]
+
+
+def merged_breakpoints(first: Histogram, second: Histogram) -> list[tuple[int, int, float, float]]:
+    """Common refinement of two equal-length histograms.
+
+    Yields ``(start, end, value_first, value_second)`` segments on which
+    both reconstructions are constant.
+    """
+    if len(first) != len(second):
+        raise ValueError(
+            f"histogram lengths differ: {len(first)} vs {len(second)}"
+        )
+    segments = []
+    i = j = 0
+    start = 0
+    buckets_a = first.buckets
+    buckets_b = second.buckets
+    while start < len(first):
+        end = min(buckets_a[i].end, buckets_b[j].end)
+        segments.append((start, end, buckets_a[i].value, buckets_b[j].value))
+        if buckets_a[i].end == end:
+            i += 1
+        if buckets_b[j].end == end:
+            j += 1
+        start = end + 1
+    return segments
+
+
+def histogram_l2(first: Histogram, second: Histogram) -> float:
+    """L2 distance between the two piecewise-constant reconstructions."""
+    total = 0.0
+    for start, end, value_a, value_b in merged_breakpoints(first, second):
+        gap = value_a - value_b
+        total += (end - start + 1) * gap * gap
+    return float(np.sqrt(total))
+
+
+def histogram_l1(first: Histogram, second: Histogram) -> float:
+    """L1 distance between the two piecewise-constant reconstructions."""
+    total = 0.0
+    for start, end, value_a, value_b in merged_breakpoints(first, second):
+        total += (end - start + 1) * abs(value_a - value_b)
+    return float(total)

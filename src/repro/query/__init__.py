@@ -1,0 +1,35 @@
+"""Approximate query processing over streams (paper section 5.1)."""
+
+from .accuracy import QueryAccuracy, measure_accuracy
+from .continuous import Alert, ContinuousQueryEngine, StandingQuery
+from .engine import (
+    EngineReport,
+    ExactMaintainer,
+    HistogramMaintainer,
+    StreamQueryEngine,
+    SynopsisMaintainer,
+    WaveletMaintainer,
+)
+from .queries import PointQuery, RangeQuery, Synopsis, evaluate_exact
+from .workload import RandomPointWorkload, RandomRangeWorkload, position_weights
+
+__all__ = [
+    "Alert",
+    "ContinuousQueryEngine",
+    "EngineReport",
+    "ExactMaintainer",
+    "HistogramMaintainer",
+    "PointQuery",
+    "QueryAccuracy",
+    "RandomPointWorkload",
+    "RandomRangeWorkload",
+    "RangeQuery",
+    "StandingQuery",
+    "StreamQueryEngine",
+    "Synopsis",
+    "SynopsisMaintainer",
+    "WaveletMaintainer",
+    "evaluate_exact",
+    "measure_accuracy",
+    "position_weights",
+]

@@ -1,0 +1,66 @@
+"""Accuracy metrics for approximate query answers.
+
+Paper section 5.1 reports "the average result obtained by performing
+random queries" -- the mean absolute deviation between approximate and
+exact answers over a random workload.  This module computes that figure
+plus companions (relative error, RMS) used by the extended analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .queries import PointQuery, RangeQuery, Synopsis, evaluate_exact
+
+__all__ = ["QueryAccuracy", "measure_accuracy"]
+
+
+@dataclass(frozen=True)
+class QueryAccuracy:
+    """Aggregate error statistics of a synopsis over a query workload."""
+
+    count: int
+    mean_absolute_error: float
+    mean_relative_error: float
+    root_mean_squared_error: float
+    max_absolute_error: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.count} queries | avg abs {self.mean_absolute_error:.3f} | "
+            f"avg rel {self.mean_relative_error:.4f} | "
+            f"rms {self.root_mean_squared_error:.3f} | "
+            f"max abs {self.max_absolute_error:.3f}"
+        )
+
+
+def measure_accuracy(
+    synopsis: Synopsis,
+    values,
+    queries: Sequence[RangeQuery | PointQuery],
+    relative_floor: float = 1.0,
+) -> QueryAccuracy:
+    """Errors of ``synopsis`` against ground truth on ``queries``.
+
+    ``relative_floor`` guards relative error against near-zero exact
+    answers (a standard sanity bound for selectivity-style metrics).
+    """
+    if not queries:
+        raise ValueError("need at least one query")
+    absolute = np.empty(len(queries))
+    relative = np.empty(len(queries))
+    for i, query in enumerate(queries):
+        exact = evaluate_exact(query, values)
+        approx = query.answer(synopsis)
+        absolute[i] = abs(approx - exact)
+        relative[i] = absolute[i] / max(abs(exact), relative_floor)
+    return QueryAccuracy(
+        count=len(queries),
+        mean_absolute_error=float(absolute.mean()),
+        mean_relative_error=float(relative.mean()),
+        root_mean_squared_error=float(np.sqrt(np.mean(absolute**2))),
+        max_absolute_error=float(absolute.max()),
+    )

@@ -1,0 +1,171 @@
+"""Continuous queries over a stream (the paper's motivating workload).
+
+Section 1: "network operators commonly pose queries, requesting the
+aggregate number of bytes over network interfaces for time windows of
+interest" -- standing queries, re-evaluated as the stream advances.  A
+:class:`ContinuousQueryEngine` owns one fixed-window histogram maintainer
+and a set of registered :class:`StandingQuery` objects; each checkpoint
+answers every query from the synopsis alone (never the raw buffer) and
+fires :class:`Alert` records when a threshold predicate flips.
+
+The synopsis is what makes this cheap: k standing queries cost
+``O(k * B)`` per checkpoint regardless of the window length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.fixed_window import FixedWindowHistogramBuilder
+from .queries import RangeQuery
+
+__all__ = ["StandingQuery", "Alert", "ContinuousQueryEngine"]
+
+
+@dataclass(frozen=True)
+class StandingQuery:
+    """A registered window query with an optional alert predicate.
+
+    ``start``/``end`` address window-relative positions (0 = oldest
+    buffered point); ``aggregate`` is ``"sum"`` or ``"avg"``.  When
+    ``threshold`` is set, an alert fires whenever the answer's relation
+    to the threshold (``above=True`` means ``answer > threshold``)
+    becomes true after being false -- edge-triggered, not level-triggered.
+    """
+
+    name: str
+    start: int
+    end: int
+    aggregate: str = "sum"
+    threshold: float | None = None
+    above: bool = True
+
+    def __post_init__(self) -> None:
+        RangeQuery(self.start, self.end, self.aggregate)  # validates
+
+    def to_query(self) -> RangeQuery:
+        return RangeQuery(self.start, self.end, self.aggregate)
+
+    def breaches(self, answer: float) -> bool:
+        if self.threshold is None:
+            return False
+        return answer > self.threshold if self.above else answer < self.threshold
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One edge-triggered threshold crossing."""
+
+    query_name: str
+    position: int
+    answer: float
+    threshold: float
+
+
+@dataclass
+class _QueryState:
+    query: StandingQuery
+    breached: bool = False
+    last_answer: float | None = None
+    answers: list[tuple[int, float]] = field(default_factory=list)
+
+
+class ContinuousQueryEngine:
+    """Standing queries over a fixed-window histogram synopsis.
+
+    Parameters mirror the builder; ``check_every`` sets the checkpoint
+    cadence in arrivals and ``keep_history`` bounds the per-query answer
+    log (0 disables logging).
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        num_buckets: int = 16,
+        epsilon: float = 0.1,
+        check_every: int = 1,
+        keep_history: int = 256,
+        on_alert: Callable[[Alert], None] | None = None,
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if keep_history < 0:
+            raise ValueError("keep_history must be non-negative")
+        self.window_size = window_size
+        self.check_every = check_every
+        self.keep_history = keep_history
+        self.on_alert = on_alert
+        self._builder = FixedWindowHistogramBuilder(
+            window_size, num_buckets, epsilon
+        )
+        self._states: dict[str, _QueryState] = {}
+        self.alerts: list[Alert] = []
+
+    @property
+    def builder(self) -> FixedWindowHistogramBuilder:
+        return self._builder
+
+    def register(self, query: StandingQuery) -> None:
+        """Add a standing query (names must be unique)."""
+        if query.name in self._states:
+            raise ValueError(f"a query named {query.name!r} is already registered")
+        if query.end >= self.window_size:
+            raise ValueError(
+                f"query range [{query.start}, {query.end}] exceeds the window "
+                f"(length {self.window_size})"
+            )
+        self._states[query.name] = _QueryState(query)
+
+    def deregister(self, name: str) -> None:
+        if name not in self._states:
+            raise KeyError(f"no query named {name!r}")
+        del self._states[name]
+
+    @property
+    def query_names(self) -> list[str]:
+        return list(self._states)
+
+    def answers(self, name: str) -> list[tuple[int, float]]:
+        """The (position, answer) history of one query."""
+        if name not in self._states:
+            raise KeyError(f"no query named {name!r}")
+        return list(self._states[name].answers)
+
+    def last_answer(self, name: str) -> float | None:
+        if name not in self._states:
+            raise KeyError(f"no query named {name!r}")
+        return self._states[name].last_answer
+
+    def update(self, value: float) -> list[Alert]:
+        """Consume one point; return alerts fired at this checkpoint."""
+        self._builder.append(value)
+        position = self._builder.total_seen
+        if position < self.window_size or position % self.check_every != 0:
+            return []
+        histogram = self._builder.histogram()
+        fired: list[Alert] = []
+        for state in self._states.values():
+            answer = state.query.to_query().answer(histogram)
+            state.last_answer = answer
+            if self.keep_history:
+                state.answers.append((position, answer))
+                if len(state.answers) > self.keep_history:
+                    state.answers.pop(0)
+            breached = state.query.breaches(answer)
+            if breached and not state.breached:
+                alert = Alert(
+                    state.query.name, position, answer, state.query.threshold
+                )
+                fired.append(alert)
+                self.alerts.append(alert)
+                if self.on_alert is not None:
+                    self.on_alert(alert)
+            state.breached = breached
+        return fired
+
+    def run(self, stream) -> list[Alert]:
+        """Consume a whole stream; return every alert fired."""
+        for value in stream:
+            self.update(value)
+        return list(self.alerts)

@@ -1,0 +1,215 @@
+"""Streaming approximate-query engine (the paper's section 5.1 setting).
+
+A :class:`SynopsisMaintainer` consumes stream points and can produce, at
+any time, a synopsis of the last ``window_size`` points.  Three
+maintainers cover the compared methods of Figure 6:
+
+* :class:`HistogramMaintainer` -- the paper's fixed-window histogram,
+  maintained incrementally.
+* :class:`WaveletMaintainer` -- a top-B Haar synopsis recomputed from the
+  raw buffer (the paper recomputes it "from scratch every time a new
+  point enters and the temporally oldest point leaves the buffer").
+* :class:`ExactMaintainer` -- the raw buffer itself (zero error,
+  reference answers).
+
+:class:`StreamQueryEngine` drives maintainers over a stream and measures
+query accuracy at a configurable cadence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from ..core.fixed_window import FixedWindowHistogramBuilder
+from ..streams.window import SlidingWindow
+from ..wavelets.synopsis import WaveletSynopsis
+from .accuracy import QueryAccuracy, measure_accuracy
+from .queries import Synopsis
+from .workload import RandomRangeWorkload
+
+__all__ = [
+    "SynopsisMaintainer",
+    "HistogramMaintainer",
+    "WaveletMaintainer",
+    "ExactMaintainer",
+    "EngineReport",
+    "StreamQueryEngine",
+]
+
+
+class SynopsisMaintainer(Protocol):
+    """Incrementally maintained synopsis of a sliding window."""
+
+    name: str
+
+    def append(self, value: float) -> None: ...
+
+    def synopsis(self) -> Synopsis: ...
+
+    def window_values(self): ...
+
+
+class HistogramMaintainer:
+    """Fixed-window epsilon-approximate V-optimal histogram maintainer."""
+
+    def __init__(self, window_size: int, num_buckets: int, epsilon: float) -> None:
+        self.name = f"histogram(B={num_buckets}, eps={epsilon:g})"
+        self._builder = FixedWindowHistogramBuilder(window_size, num_buckets, epsilon)
+
+    @property
+    def builder(self) -> FixedWindowHistogramBuilder:
+        return self._builder
+
+    def append(self, value: float) -> None:
+        self._builder.append(value)
+
+    def maintain(self) -> None:
+        """Force the per-arrival rebuild (paper-faithful maintenance)."""
+        self._builder.update()
+
+    def synopsis(self) -> Synopsis:
+        return self._builder.histogram()
+
+    def window_values(self):
+        return self._builder.window_values()
+
+
+class WaveletMaintainer:
+    """Top-B wavelet synopsis recomputed from the buffered window."""
+
+    def __init__(self, window_size: int, budget: int) -> None:
+        self.name = f"wavelet(B={budget})"
+        self.budget = budget
+        self._window = SlidingWindow(window_size)
+
+    def append(self, value: float) -> None:
+        self._window.append(value)
+
+    def maintain(self) -> None:
+        """Per-slide recomputation, as the paper's baseline does."""
+        self.synopsis()
+
+    def synopsis(self) -> Synopsis:
+        return WaveletSynopsis.from_values(self._window.values(), self.budget)
+
+    def window_values(self):
+        return self._window.values()
+
+
+class ExactMaintainer:
+    """The raw sliding buffer, answering queries exactly."""
+
+    def __init__(self, window_size: int) -> None:
+        self.name = "exact"
+        self._window = SlidingWindow(window_size)
+
+    def append(self, value: float) -> None:
+        self._window.append(value)
+
+    def maintain(self) -> None:
+        return None
+
+    def synopsis(self) -> Synopsis:
+        return _BufferSynopsis(self._window.values())
+
+    def window_values(self):
+        return self._window.values()
+
+
+class _BufferSynopsis:
+    def __init__(self, values) -> None:
+        self._values = np.asarray(values, dtype=np.float64)
+        self._cumulative = np.concatenate(([0.0], np.cumsum(self._values)))
+
+    def point_estimate(self, position: int) -> float:
+        return float(self._values[position])
+
+    def range_sum(self, i: int, j: int) -> float:
+        return float(self._cumulative[j + 1] - self._cumulative[i])
+
+
+@dataclass
+class EngineReport:
+    """Per-maintainer outcome of one engine run."""
+
+    name: str
+    maintenance_seconds: float
+    evaluations: list[QueryAccuracy] = field(default_factory=list)
+
+    @property
+    def mean_absolute_error(self) -> float:
+        if not self.evaluations:
+            raise ValueError("no evaluations recorded")
+        return sum(e.mean_absolute_error for e in self.evaluations) / len(
+            self.evaluations
+        )
+
+    @property
+    def mean_relative_error(self) -> float:
+        if not self.evaluations:
+            raise ValueError("no evaluations recorded")
+        return sum(e.mean_relative_error for e in self.evaluations) / len(
+            self.evaluations
+        )
+
+
+class StreamQueryEngine:
+    """Drive synopsis maintainers over a stream, measuring accuracy and time.
+
+    ``maintain_every`` controls how often each maintainer's synopsis is
+    brought up to date (1 = after every arrival, the paper's model);
+    ``evaluate_every`` controls how often a fresh random workload of
+    ``queries_per_evaluation`` range-sum queries is scored against the
+    exact window.  Evaluation only starts once the window is full.
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        maintain_every: int = 1,
+        evaluate_every: int = 64,
+        queries_per_evaluation: int = 32,
+        aggregate: str = "sum",
+        seed: int = 0,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if maintain_every < 1 or evaluate_every < 1:
+            raise ValueError("cadences must be >= 1")
+        self.window_size = window_size
+        self.maintain_every = maintain_every
+        self.evaluate_every = evaluate_every
+        self.queries_per_evaluation = queries_per_evaluation
+        self.aggregate = aggregate
+        self.seed = seed
+
+    def run(
+        self, stream: Iterable[float], maintainers: list[SynopsisMaintainer]
+    ) -> list[EngineReport]:
+        workload = RandomRangeWorkload(
+            self.window_size, aggregate=self.aggregate, seed=self.seed
+        )
+        reports = [EngineReport(m.name, 0.0) for m in maintainers]
+        arrivals = 0
+        for value in stream:
+            arrivals += 1
+            for maintainer, report in zip(maintainers, reports):
+                started = time.perf_counter()
+                maintainer.append(value)
+                if arrivals % self.maintain_every == 0:
+                    maintainer.maintain()
+                report.maintenance_seconds += time.perf_counter() - started
+
+            full = arrivals >= self.window_size
+            if full and arrivals % self.evaluate_every == 0:
+                queries = workload.sample(self.queries_per_evaluation)
+                for maintainer, report in zip(maintainers, reports):
+                    truth = maintainer.window_values()
+                    report.evaluations.append(
+                        measure_accuracy(maintainer.synopsis(), truth, queries)
+                    )
+        return reports

@@ -1,0 +1,83 @@
+"""Query model for approximate stream querying (paper section 5.1).
+
+The evaluation poses *range aggregation* queries against the sliding
+window -- "the aggregate number of bytes over network interfaces for time
+windows of interest".  A query addresses window-relative positions
+(0 = oldest buffered point); synopses and the exact buffer answer the same
+query objects so accuracy is directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["RangeQuery", "PointQuery", "Synopsis", "evaluate_exact"]
+
+
+class Synopsis(Protocol):
+    """Anything that answers point and range-sum queries over positions."""
+
+    def point_estimate(self, position: int) -> float: ...
+
+    def range_sum(self, i: int, j: int) -> float: ...
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """Aggregate over window positions ``[start, end]`` inclusive."""
+
+    start: int
+    end: int
+    aggregate: str = "sum"  # "sum" or "avg"
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid query range [{self.start}, {self.end}]")
+        if self.aggregate not in ("sum", "avg"):
+            raise ValueError(f"unsupported aggregate {self.aggregate!r}")
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start + 1
+
+    def answer(self, synopsis: Synopsis) -> float:
+        total = synopsis.range_sum(self.start, self.end)
+        return total / self.span if self.aggregate == "avg" else total
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """The value at one window position."""
+
+    position: int
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise ValueError(f"invalid query position {self.position}")
+
+    def answer(self, synopsis: Synopsis) -> float:
+        return synopsis.point_estimate(self.position)
+
+
+class _ExactSynopsis:
+    """Adapter answering queries directly from a value array."""
+
+    def __init__(self, values) -> None:
+        self._values = np.asarray(values, dtype=np.float64)
+        self._cumulative = np.concatenate(([0.0], np.cumsum(self._values)))
+
+    def point_estimate(self, position: int) -> float:
+        return float(self._values[position])
+
+    def range_sum(self, i: int, j: int) -> float:
+        if not (0 <= i <= j < self._values.size):
+            raise ValueError(f"range [{i}, {j}] out of bounds")
+        return float(self._cumulative[j + 1] - self._cumulative[i])
+
+
+def evaluate_exact(query: RangeQuery | PointQuery, values) -> float:
+    """Ground-truth answer of a query against raw values."""
+    return query.answer(_ExactSynopsis(values))

@@ -1,0 +1,24 @@
+"""Time-series similarity search (paper section 5.2)."""
+
+from .apca import apca
+from .distance import euclidean, lower_bound_distance, project_onto, znormalize
+from .features import APCAReducer, PAAReducer, Reducer, VOptimalReducer
+from .index import SearchOutcome, SeriesIndex
+from .subsequence import SubsequenceIndex, SubsequenceMatch, SubsequenceOutcome
+
+__all__ = [
+    "APCAReducer",
+    "PAAReducer",
+    "Reducer",
+    "SearchOutcome",
+    "SeriesIndex",
+    "SubsequenceIndex",
+    "SubsequenceMatch",
+    "SubsequenceOutcome",
+    "VOptimalReducer",
+    "apca",
+    "euclidean",
+    "lower_bound_distance",
+    "project_onto",
+    "znormalize",
+]

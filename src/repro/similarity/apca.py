@@ -1,0 +1,102 @@
+"""APCA: Adaptive Piecewise Constant Approximation ([KCMP01]).
+
+The comparator representation of the paper's similarity experiments
+(section 5.2).  Keogh et al. build an M-segment piecewise-constant
+approximation of a time series by (i) taking the Haar wavelet transform,
+(ii) keeping the largest coefficients, (iii) reconstructing and reading
+off the implied segments, then (iv) greedily merging adjacent segments
+until exactly M remain, finally replacing each segment value with the
+exact data mean over the segment.  This module implements that pipeline
+and returns the result as a standard :class:`~repro.core.bucket.Histogram`
+so APCA plugs into the same query and distance machinery as every other
+piecewise-constant synopsis in the library.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.bucket import Histogram
+from ..wavelets.synopsis import WaveletSynopsis
+
+__all__ = ["apca"]
+
+
+def _segments_of(reconstruction: np.ndarray) -> list[int]:
+    """Split positions implied by a piecewise-constant array."""
+    changes = np.nonzero(np.diff(reconstruction))[0]
+    return [int(i) for i in changes]
+
+
+def _merge_to_budget(values: np.ndarray, splits: list[int], segments: int) -> list[int]:
+    """Greedily drop splits, each time the one whose removal adds least SSE.
+
+    A lazy-deletion heap keyed by the SSE increase of merging the two
+    segments adjacent to each split; stale entries are re-validated
+    against the current neighbour structure before use.
+    """
+    if len(splits) + 1 <= segments:
+        return splits
+    cumulative = np.concatenate(([0.0], np.cumsum(values)))
+    cumulative_sq = np.concatenate(([0.0], np.cumsum(values * values)))
+
+    def sse(start: int, end: int) -> float:
+        length = end - start + 1
+        total = cumulative[end + 1] - cumulative[start]
+        sq = cumulative_sq[end + 1] - cumulative_sq[start]
+        return max(0.0, sq - total * total / length)
+
+    # Doubly linked structure over boundary positions (with sentinels).
+    bounds = [-1] + sorted(splits) + [values.size - 1]
+    previous = {bounds[i]: bounds[i - 1] for i in range(1, len(bounds))}
+    following = {bounds[i]: bounds[i + 1] for i in range(len(bounds) - 1)}
+    alive = set(splits)
+
+    def merge_cost(split: int) -> float:
+        left = previous[split]
+        right = following[split]
+        return sse(left + 1, right) - sse(left + 1, split) - sse(split + 1, right)
+
+    heap = [(merge_cost(s), s) for s in splits]
+    heapq.heapify(heap)
+    remaining = len(splits) + 1
+    while remaining > segments and heap:
+        cost, split = heapq.heappop(heap)
+        if split not in alive:
+            continue
+        current = merge_cost(split)
+        if current > cost + 1e-12:
+            heapq.heappush(heap, (current, split))
+            continue
+        # Merge: remove this split, rewire neighbours, refresh their costs.
+        alive.discard(split)
+        left, right = previous[split], following[split]
+        following[left] = right
+        previous[right] = left
+        remaining -= 1
+        for neighbour in (left, right):
+            if neighbour in alive:
+                heapq.heappush(heap, (merge_cost(neighbour), neighbour))
+    return sorted(alive)
+
+
+def apca(series, segments: int) -> Histogram:
+    """M-segment APCA of a series, as a histogram with exact segment means."""
+    values = np.asarray(series, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot approximate an empty series")
+    if segments < 1:
+        raise ValueError("segments must be >= 1")
+    if segments >= values.size:
+        return Histogram.from_boundaries(values, list(range(values.size - 1)))
+
+    # Haar-thresholded sketch: keep enough coefficients that the implied
+    # segmentation is at least as fine as the budget, then merge down.
+    synopsis = WaveletSynopsis.from_values(values, max(segments, 1))
+    reconstruction = synopsis.to_array()
+    splits = _segments_of(reconstruction)
+    splits = [s for s in splits if s < values.size - 1]
+    splits = _merge_to_budget(values, splits, segments)
+    return Histogram.from_boundaries(values, splits)

@@ -1,0 +1,81 @@
+"""Distances for time-series similarity (paper section 5.2).
+
+The GEMINI indexing framework needs two ingredients: the true distance
+(Euclidean here, as in [KCMP01] and the paper) and a cheap *lower bound*
+computed from a reduced representation.  As long as the bound never
+exceeds the true distance there are no false dismissals; the quality of a
+representation shows up as the number of false positives the bound lets
+through.
+
+For any piecewise-constant representation ``C`` of a candidate series,
+
+    LB(Q, C)^2 = sum_i len_i * (mean(Q over segment i) - c_i)^2
+
+lower-bounds the squared Euclidean distance between the query ``Q`` and
+the raw candidate *if the representative of each segment is the segment
+mean of the candidate* (within-segment variance only adds to the true
+distance).  All representations in this library (V-optimal, APCA, PAA)
+use segment means, so one bound serves them all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bucket import Histogram
+
+__all__ = ["euclidean", "lower_bound_distance", "project_onto", "znormalize"]
+
+
+def znormalize(series) -> np.ndarray:
+    """Zero-mean unit-variance normalization (constant series map to 0).
+
+    The standard preprocessing of the similarity-search literature
+    ([KCMP01] and successors): matching should be invariant to offset and
+    amplitude, so both indexed series and queries are normalized before
+    reduction and comparison.
+    """
+    values = np.asarray(series, dtype=np.float64)
+    spread = float(values.std())
+    if spread == 0.0:
+        return np.zeros_like(values)
+    return (values - values.mean()) / spread
+
+
+def euclidean(a, b) -> float:
+    """Euclidean distance between two equal-length series."""
+    left = np.asarray(a, dtype=np.float64)
+    right = np.asarray(b, dtype=np.float64)
+    if left.shape != right.shape:
+        raise ValueError(f"shape mismatch {left.shape} vs {right.shape}")
+    return float(np.sqrt(np.sum((left - right) ** 2)))
+
+
+def project_onto(query, histogram: Histogram) -> np.ndarray:
+    """Per-segment means of ``query`` over the histogram's buckets."""
+    values = np.asarray(query, dtype=np.float64)
+    if values.size != len(histogram):
+        raise ValueError(
+            f"query length {values.size} does not match representation length "
+            f"{len(histogram)}"
+        )
+    cumulative = np.concatenate(([0.0], np.cumsum(values)))
+    means = np.empty(histogram.num_buckets)
+    for i, bucket in enumerate(histogram.buckets):
+        means[i] = (cumulative[bucket.end + 1] - cumulative[bucket.start]) / bucket.size
+    return means
+
+
+def lower_bound_distance(query, histogram: Histogram) -> float:
+    """Lower bound on ``euclidean(query, candidate)`` from the candidate's
+    mean-valued piecewise-constant representation.
+
+    Guaranteed ``<=`` the true distance (segment-mean decomposition of the
+    squared error), hence no false dismissals in GEMINI-style search.
+    """
+    means = project_onto(query, histogram)
+    total = 0.0
+    for mean, bucket in zip(means, histogram.buckets):
+        gap = mean - bucket.value
+        total += bucket.size * gap * gap
+    return float(np.sqrt(total))

@@ -1,0 +1,88 @@
+"""Dimensionality reducers for similarity search.
+
+Each reducer turns a raw series into a mean-valued piecewise-constant
+:class:`~repro.core.bucket.Histogram` under a common *number budget*: the
+count of floats/ints the index may store per series.  Two numbers buy one
+adaptive segment (boundary + mean) but only one is needed per fixed
+segment (PAA), matching the space accounting of [KCMP01] and the paper.
+
+* :class:`VOptimalReducer` -- the paper's proposal: (approximate)
+  V-optimal buckets, via the optimal DP or the one-pass epsilon-
+  approximate algorithm.
+* :class:`APCAReducer` -- Keogh et al.'s APCA, the paper's comparator.
+* :class:`PAAReducer` -- equal-length segments (Piecewise Aggregate
+  Approximation), the classic cheap baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..core.approx import approximate_histogram
+from ..core.bucket import Histogram
+from ..core.optimal import optimal_histogram
+from ..heuristics.serial import equal_width_histogram
+from .apca import apca
+
+__all__ = ["Reducer", "VOptimalReducer", "APCAReducer", "PAAReducer"]
+
+
+class Reducer(Protocol):
+    """Reduces a raw series to a piecewise-constant representation."""
+
+    name: str
+    budget: int
+
+    def reduce(self, series) -> Histogram: ...
+
+
+def _adaptive_segments(budget: int) -> int:
+    """Segments affordable under a number budget when each costs two."""
+    if budget < 2:
+        raise ValueError("adaptive representations need a budget of >= 2 numbers")
+    return budget // 2
+
+
+class VOptimalReducer:
+    """V-optimal (or epsilon-approximate V-optimal) segment features."""
+
+    def __init__(self, budget: int, epsilon: float | None = None) -> None:
+        self.budget = budget
+        self.segments = _adaptive_segments(budget)
+        self.epsilon = epsilon
+        suffix = "" if epsilon is None else f", eps={epsilon:g}"
+        self.name = f"vopt(M={self.segments}{suffix})"
+
+    def reduce(self, series) -> Histogram:
+        values = np.asarray(series, dtype=np.float64)
+        if self.epsilon is None:
+            return optimal_histogram(values, self.segments)
+        return approximate_histogram(values, self.segments, self.epsilon)
+
+
+class APCAReducer:
+    """APCA segment features ([KCMP01])."""
+
+    def __init__(self, budget: int) -> None:
+        self.budget = budget
+        self.segments = _adaptive_segments(budget)
+        self.name = f"apca(M={self.segments})"
+
+    def reduce(self, series) -> Histogram:
+        return apca(series, self.segments)
+
+
+class PAAReducer:
+    """Equal-length segment means; one number per segment."""
+
+    def __init__(self, budget: int) -> None:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.budget = budget
+        self.segments = budget
+        self.name = f"paa(M={self.segments})"
+
+    def reduce(self, series) -> Histogram:
+        return equal_width_histogram(series, self.segments)

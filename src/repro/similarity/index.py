@@ -1,0 +1,157 @@
+"""GEMINI-style similarity index (paper section 5.2).
+
+The classic filter-and-refine scheme: store a reduced representation of
+every series; at query time compute the cheap lower-bound distance
+against each representation, fetch and verify only the series the bound
+cannot rule out.  The lower bound never exceeds the true distance, so the
+answer set is exact; the representation's quality is measured by the
+**false positives** -- verified candidates that fail the true-distance
+test -- which is the paper's comparison metric against APCA.
+
+The paper's experiments use an R-tree over the reduced space; the
+false-positive count depends only on the lower bound and the
+representation, not on the tree, so a filtered linear scan reproduces the
+metric faithfully (see DESIGN.md section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bucket import Histogram
+from .distance import euclidean, lower_bound_distance, znormalize
+from .features import Reducer
+
+__all__ = ["SearchOutcome", "SeriesIndex"]
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Result of one filtered search.
+
+    ``matches`` holds (series id, true distance) pairs inside the radius /
+    the k nearest; ``candidates_verified`` counts raw-series distance
+    computations; ``false_positives`` counts verified candidates that were
+    not answers.  ``pruned`` = series rejected by the lower bound alone.
+    """
+
+    matches: list[tuple[int, float]]
+    candidates_verified: int
+    false_positives: int
+    pruned: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of verified candidates that were answers."""
+        if self.candidates_verified == 0:
+            return 1.0
+        return len(self.matches) / self.candidates_verified
+
+
+class SeriesIndex:
+    """Filter-and-refine index over a collection of equal-length series.
+
+    With ``normalize=True`` every indexed series and every query is
+    z-normalized first (the offset/amplitude-invariant matching of the
+    similarity literature); distances are then between normalized shapes.
+    """
+
+    def __init__(self, reducer: Reducer, normalize: bool = False) -> None:
+        self._reducer = reducer
+        self.normalize = normalize
+        self._series: list[np.ndarray] = []
+        self._representations: list[Histogram] = []
+
+    @property
+    def reducer_name(self) -> str:
+        return self._reducer.name
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def _prepare(self, series) -> np.ndarray:
+        values = np.asarray(series, dtype=np.float64)
+        if self.normalize:
+            return znormalize(values)
+        return values.copy()
+
+    def add(self, series) -> int:
+        """Index one series; returns its id."""
+        values = np.asarray(series, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError("series must be one-dimensional")
+        if self._series and values.size != self._series[0].size:
+            raise ValueError(
+                f"series length {values.size} does not match index length "
+                f"{self._series[0].size}"
+            )
+        prepared = self._prepare(values)
+        self._series.append(prepared)
+        self._representations.append(self._reducer.reduce(prepared))
+        return len(self._series) - 1
+
+    def add_all(self, collection) -> None:
+        for series in np.asarray(collection, dtype=np.float64):
+            self.add(series)
+
+    def representation(self, series_id: int) -> Histogram:
+        return self._representations[series_id]
+
+    def range_search(self, query, radius: float) -> SearchOutcome:
+        """All series within ``radius`` (Euclidean) of ``query``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        query = self._prepare(query)
+        matches: list[tuple[int, float]] = []
+        verified = 0
+        pruned = 0
+        for series_id, representation in enumerate(self._representations):
+            bound = lower_bound_distance(query, representation)
+            if bound > radius:
+                pruned += 1
+                continue
+            verified += 1
+            distance = euclidean(query, self._series[series_id])
+            if distance <= radius:
+                matches.append((series_id, distance))
+        return SearchOutcome(
+            matches=sorted(matches, key=lambda pair: pair[1]),
+            candidates_verified=verified,
+            false_positives=verified - len(matches),
+            pruned=pruned,
+        )
+
+    def knn_search(self, query, k: int) -> SearchOutcome:
+        """The ``k`` nearest series, best-first over lower bounds.
+
+        Candidates are verified in increasing lower-bound order; the scan
+        stops once the next bound exceeds the current k-th best true
+        distance, which preserves exactness.  False positives are the
+        verified series that do not end up in the answer set.
+        """
+        if not (1 <= k <= len(self._series)):
+            raise ValueError(f"k must be in [1, {len(self._series)}]")
+        query = self._prepare(query)
+        bounds = sorted(
+            (lower_bound_distance(query, rep), series_id)
+            for series_id, rep in enumerate(self._representations)
+        )
+        best: list[tuple[float, int]] = []  # (true distance, id), sorted
+        verified = 0
+        for bound, series_id in bounds:
+            if len(best) == k and bound > best[-1][0]:
+                break
+            verified += 1
+            distance = euclidean(query, self._series[series_id])
+            best.append((distance, series_id))
+            best.sort()
+            del best[k:]
+        matches = [(series_id, distance) for distance, series_id in best]
+        return SearchOutcome(
+            matches=matches,
+            candidates_verified=verified,
+            false_positives=verified - len(matches),
+            pruned=len(self._series) - verified,
+        )

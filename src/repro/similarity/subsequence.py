@@ -1,0 +1,140 @@
+"""Subsequence time-series matching (paper section 5.2).
+
+The paper evaluates both whole-series and *subsequence* matching: find
+the places inside one long stream where a short query pattern (almost)
+occurs.  Following the classic ST-index construction, every window of the
+stream (at a configurable stride) is reduced and indexed; the same
+lower-bound filter-and-refine machinery then answers pattern queries over
+window start positions.  When the stream is consumed incrementally the
+window representations can come straight from the paper's fixed-window
+histogram builder -- see :meth:`SubsequenceIndex.from_stream_builder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bucket import Histogram
+from ..core.fixed_window import FixedWindowHistogramBuilder
+from .distance import euclidean, lower_bound_distance, znormalize
+from .features import Reducer
+
+__all__ = ["SubsequenceMatch", "SubsequenceOutcome", "SubsequenceIndex"]
+
+
+@dataclass(frozen=True)
+class SubsequenceMatch:
+    """One matching window: its start offset and true distance."""
+
+    offset: int
+    distance: float
+
+
+@dataclass(frozen=True)
+class SubsequenceOutcome:
+    matches: list[SubsequenceMatch]
+    candidates_verified: int
+    false_positives: int
+    pruned: int
+
+
+class SubsequenceIndex:
+    """Filter-and-refine index over the windows of one long series.
+
+    With ``normalize=True`` each window (and each query pattern) is
+    z-normalized before reduction, so matching is offset- and
+    amplitude-invariant -- the ST-index convention.
+    """
+
+    def __init__(
+        self,
+        series,
+        window_length: int,
+        reducer: Reducer,
+        stride: int = 1,
+        normalize: bool = False,
+    ) -> None:
+        values = np.asarray(series, dtype=np.float64)
+        if window_length < 1 or window_length > values.size:
+            raise ValueError("window_length must be in [1, len(series)]")
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self._values = values
+        self.window_length = window_length
+        self.stride = stride
+        self.normalize = normalize
+        self._offsets = list(range(0, values.size - window_length + 1, stride))
+        self._representations: list[Histogram] = [
+            reducer.reduce(self._window_at(o)) for o in self._offsets
+        ]
+
+    def _window_at(self, offset: int) -> np.ndarray:
+        window = self._values[offset : offset + self.window_length]
+        return znormalize(window) if self.normalize else window
+
+    @classmethod
+    def from_stream_builder(
+        cls, series, window_length: int, num_buckets: int, epsilon: float, stride: int = 1
+    ) -> "SubsequenceIndex":
+        """Build the index with one pass of the fixed-window builder.
+
+        This is the streaming construction the paper enables: the
+        representations of *all* windows fall out of the incremental
+        maintenance, without re-reducing each window from scratch.
+        """
+        values = np.asarray(series, dtype=np.float64)
+        index = cls.__new__(cls)
+        index._values = values
+        index.window_length = window_length
+        index.stride = stride
+        index.normalize = False
+        index._offsets = []
+        index._representations = []
+        builder = FixedWindowHistogramBuilder(window_length, num_buckets, epsilon)
+        for position, value in enumerate(values):
+            builder.append(value)
+            offset = position - window_length + 1
+            if offset >= 0 and offset % stride == 0:
+                index._offsets.append(offset)
+                index._representations.append(builder.histogram())
+        return index
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def window(self, offset: int) -> np.ndarray:
+        """The (normalized, if enabled) window starting at ``offset``."""
+        return self._window_at(offset)
+
+    def range_search(self, pattern, radius: float) -> SubsequenceOutcome:
+        """All windows within ``radius`` (Euclidean) of ``pattern``."""
+        pattern = np.asarray(pattern, dtype=np.float64)
+        if self.normalize:
+            pattern = znormalize(pattern)
+        if pattern.size != self.window_length:
+            raise ValueError(
+                f"pattern length {pattern.size} does not match window length "
+                f"{self.window_length}"
+            )
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        matches: list[SubsequenceMatch] = []
+        verified = 0
+        pruned = 0
+        for offset, representation in zip(self._offsets, self._representations):
+            if lower_bound_distance(pattern, representation) > radius:
+                pruned += 1
+                continue
+            verified += 1
+            distance = euclidean(pattern, self.window(offset))
+            if distance <= radius:
+                matches.append(SubsequenceMatch(offset, distance))
+        matches.sort(key=lambda match: match.distance)
+        return SubsequenceOutcome(
+            matches=matches,
+            candidates_verified=verified,
+            false_positives=verified - len(matches),
+            pruned=pruned,
+        )

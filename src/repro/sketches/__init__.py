@@ -1,0 +1,6 @@
+"""Streaming sketch substrates from the paper's related work."""
+
+from .gk import GKQuantileSummary
+from .reservoir import ReservoirSample
+
+__all__ = ["GKQuantileSummary", "ReservoirSample"]

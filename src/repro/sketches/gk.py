@@ -1,0 +1,168 @@
+"""Greenwald-Khanna quantile summary ([GK01], paper related work).
+
+A one-pass, bounded-memory summary supporting rank queries with additive
+error at most ``epsilon * N``.  The paper cites it as the state of the art
+for streaming order statistics; here it powers the streaming equi-depth
+baseline used in the warehouse ablations and is a substrate in its own
+right.
+
+The summary stores tuples ``(value, g, delta)`` where ``g`` is the gap in
+minimum rank to the previous tuple and ``delta`` bounds the rank
+uncertainty.  The invariant ``g + delta <= floor(2 * epsilon * N)`` is
+restored by periodic compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GKQuantileSummary"]
+
+
+@dataclass
+class _Tuple:
+    value: float
+    g: int
+    delta: int
+
+
+class GKQuantileSummary:
+    """Epsilon-approximate one-pass quantile summary."""
+
+    def __init__(self, epsilon: float) -> None:
+        if not (0 < epsilon < 1):
+            raise ValueError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+        self._tuples: list[_Tuple] = []
+        self._count = 0
+        self._compress_period = max(1, int(1.0 / (2.0 * epsilon)))
+
+    def __len__(self) -> int:
+        """Number of stream values inserted."""
+        return self._count
+
+    @property
+    def summary_size(self) -> int:
+        """Number of stored tuples (the space actually used)."""
+        return len(self._tuples)
+
+    def insert(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        threshold = int(2.0 * self.epsilon * self._count)
+
+        position = 0
+        while position < len(self._tuples) and self._tuples[position].value <= value:
+            position += 1
+
+        if position == 0 or position == len(self._tuples):
+            # New minimum or maximum: exact rank, delta = 0.
+            self._tuples.insert(position, _Tuple(value, 1, 0))
+        else:
+            delta = max(0, threshold - 1)
+            self._tuples.insert(position, _Tuple(value, 1, delta))
+
+        if self._count % self._compress_period == 0:
+            self._compress()
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.insert(value)
+
+    def _compress(self) -> None:
+        """Merge adjacent tuples while the rank invariant allows it."""
+        threshold = int(2.0 * self.epsilon * self._count)
+        tuples = self._tuples
+        i = len(tuples) - 2
+        while i >= 1:
+            current, nxt = tuples[i], tuples[i + 1]
+            if current.g + nxt.g + nxt.delta <= threshold:
+                nxt.g += current.g
+                del tuples[i]
+            i -= 1
+
+    def rank_bounds(self, value: float) -> tuple[int, int]:
+        """Lower and upper bounds on the rank of ``value`` (1-based).
+
+        The lower bound is the minimum rank of the last tuple with value
+        ``<= value``; the upper bound comes from the *following* tuple:
+        every stream element ranked above ``rmax(next) - 1`` exceeds
+        ``value``.  The bracket width is at most the compression invariant
+        ``2 * epsilon * N``.
+        """
+        if self._count == 0:
+            raise ValueError("no values inserted yet")
+        min_rank = 0
+        max_rank = self._count
+        running = 0
+        for entry in self._tuples:
+            running += entry.g
+            if entry.value <= value:
+                min_rank = running
+            else:
+                max_rank = max(min_rank, running + entry.delta - 1)
+                break
+        return min_rank, max_rank
+
+    def query(self, fraction: float) -> float:
+        """Value whose rank is within ``epsilon * N`` of ``fraction * N``."""
+        if self._count == 0:
+            raise ValueError("no values inserted yet")
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("fraction must be in [0, 1]")
+        target = max(1, int(round(fraction * self._count)))
+        allowance = self.epsilon * self._count
+
+        running_min = 0
+        for i, entry in enumerate(self._tuples):
+            running_min += entry.g
+            max_rank = running_min + entry.delta
+            if target - running_min <= allowance and max_rank - target <= allowance:
+                return entry.value
+            if running_min > target + allowance and i > 0:
+                return self._tuples[i - 1].value
+        return self._tuples[-1].value
+
+    def quantiles(self, count: int) -> list[float]:
+        """``count`` evenly spaced quantiles (excluding 0, including interior)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return [self.query(q / (count + 1)) for q in range(1, count + 1)]
+
+    def merge(self, other: "GKQuantileSummary") -> "GKQuantileSummary":
+        """Combine two summaries built over disjoint streams.
+
+        Tuples are interleaved in value order; each keeps its ``g`` and
+        widens its ``delta`` by the rank uncertainty contributed by the
+        other summary's surrounding tuples (the standard GK merge rule).
+        The merged summary's rank error is bounded by the *sum* of the two
+        input epsilons; it reports the larger input epsilon and restores
+        that invariant by compression, so post-merge guarantees are
+        ``epsilon_self + epsilon_other`` in the worst case.
+        """
+        merged = GKQuantileSummary(max(self.epsilon, other.epsilon))
+        merged._count = self._count + other._count
+        if merged._count == 0:
+            return merged
+
+        def widened(own: list[_Tuple], foreign: list[_Tuple]) -> list[tuple[float, int, int]]:
+            entries = []
+            for position, entry in enumerate(own):
+                # Rank slack from the other summary: the first foreign
+                # tuple strictly after this value can precede or follow
+                # the true position by its own uncertainty.
+                slack = 0
+                for candidate in foreign:
+                    if candidate.value > entry.value:
+                        slack = candidate.g + candidate.delta - 1
+                        break
+                entries.append((entry.value, entry.g, entry.delta + max(0, slack)))
+            return entries
+
+        combined = widened(self._tuples, other._tuples) + widened(
+            other._tuples, self._tuples
+        )
+        combined.sort(key=lambda item: item[0])
+        merged._tuples = [_Tuple(value, g, delta) for value, g, delta in combined]
+        merged._compress()
+        return merged

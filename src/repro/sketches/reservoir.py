@@ -1,0 +1,72 @@
+"""Reservoir sampling ([SRL99], paper related work).
+
+A uniform random sample of a stream in bounded memory, the simplest
+space-efficient synopsis.  Used as a baseline in the warehouse ablations:
+an equi-depth histogram over the reservoir is the classical
+sampling-based answer to approximate aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReservoirSample"]
+
+
+class ReservoirSample:
+    """Algorithm-R uniform reservoir over an unbounded stream."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._sample: list[float] = []
+        self._count = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        """Number of stream values observed (not the sample size)."""
+        return self._count
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._sample)
+
+    def insert(self, value: float) -> None:
+        self._count += 1
+        if len(self._sample) < self._capacity:
+            self._sample.append(float(value))
+            return
+        slot = int(self._rng.integers(self._count))
+        if slot < self._capacity:
+            self._sample[slot] = float(value)
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.insert(value)
+
+    def values(self) -> np.ndarray:
+        """The current sample (order not meaningful)."""
+        return np.asarray(self._sample, dtype=np.float64)
+
+    def estimate_sum(self) -> float:
+        """Horvitz-Thompson estimate of the stream's running sum."""
+        if not self._sample:
+            raise ValueError("no values observed yet")
+        return float(np.mean(self._sample) * self._count)
+
+    def estimate_mean(self) -> float:
+        if not self._sample:
+            raise ValueError("no values observed yet")
+        return float(np.mean(self._sample))
+
+    def estimate_quantile(self, fraction: float) -> float:
+        if not self._sample:
+            raise ValueError("no values observed yet")
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("fraction must be in [0, 1]")
+        return float(np.quantile(self._sample, fraction))

@@ -1,0 +1,34 @@
+"""Data-stream substrate: sources, synthetic generators, sliding windows."""
+
+from .source import ArraySource, StreamSource, batched, take
+from .synthetic import (
+    bursty_traffic,
+    clickstream_bytes,
+    fault_sequence,
+    diurnal_utilization,
+    gbm_prices,
+    level_shifts,
+    mixture_stream,
+    random_walk,
+    zipf_frequencies,
+)
+from .timewindow import TimeWindowHistogram
+from .window import SlidingWindow
+
+__all__ = [
+    "ArraySource",
+    "SlidingWindow",
+    "TimeWindowHistogram",
+    "StreamSource",
+    "batched",
+    "bursty_traffic",
+    "clickstream_bytes",
+    "fault_sequence",
+    "diurnal_utilization",
+    "gbm_prices",
+    "level_shifts",
+    "mixture_stream",
+    "random_walk",
+    "take",
+    "zipf_frequencies",
+]

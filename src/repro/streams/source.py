@@ -1,0 +1,72 @@
+"""Stream source abstractions.
+
+The paper models a data stream as an ordered sequence of bounded integers
+read once, in order (section 3).  A :class:`StreamSource` is any iterable
+of floats; this module adds small adapters for replaying finite arrays,
+limiting infinite generators, and batching arrivals (section 3, footnote 2
+allows batched arrivals within the same framework).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol
+
+import numpy as np
+
+__all__ = ["StreamSource", "ArraySource", "take", "batched"]
+
+
+class StreamSource(Protocol):
+    """Anything that yields stream points in arrival order."""
+
+    def __iter__(self) -> Iterator[float]: ...
+
+
+class ArraySource:
+    """Replay a finite array as a stream (optionally repeated)."""
+
+    def __init__(self, values, repeat: int = 1) -> None:
+        self._values = np.asarray(values, dtype=np.float64)
+        if self._values.ndim != 1:
+            raise ValueError("stream values must be one-dimensional")
+        if repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        self._repeat = repeat
+
+    def __len__(self) -> int:
+        return self._values.size * self._repeat
+
+    def __iter__(self) -> Iterator[float]:
+        for _ in range(self._repeat):
+            yield from self._values.tolist()
+
+
+def take(source: Iterable[float], count: int) -> np.ndarray:
+    """Materialize the first ``count`` points of a stream."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    out = np.empty(count, dtype=np.float64)
+    iterator = iter(source)
+    for i in range(count):
+        try:
+            out[i] = next(iterator)
+        except StopIteration:
+            raise ValueError(f"stream ended after {i} points, needed {count}") from None
+    return out
+
+
+def batched(source: Iterable[float], batch_size: int) -> Iterator[np.ndarray]:
+    """Group stream points into fixed-size arrival batches.
+
+    The final batch may be shorter if the stream is finite.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    batch: list[float] = []
+    for value in source:
+        batch.append(float(value))
+        if len(batch) == batch_size:
+            yield np.asarray(batch)
+            batch = []
+    if batch:
+        yield np.asarray(batch)

@@ -1,0 +1,222 @@
+"""Synthetic stream generators.
+
+The paper's motivating workloads are network-element measurement streams,
+financial tick sequences and web-server click streams (section 1).  Real
+AT&T traces are not available, so these generators produce seeded,
+deterministic streams covering the same qualitative regimes: piecewise
+smooth levels, diurnal periodicity, heavy-tailed bursts, random-walk
+drift, and categorical skew.
+
+All generators yield non-negative values quantized to integers (the paper
+assumes integer points from a bounded range) unless ``quantize=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "random_walk",
+    "level_shifts",
+    "bursty_traffic",
+    "diurnal_utilization",
+    "zipf_frequencies",
+    "gbm_prices",
+    "fault_sequence",
+    "clickstream_bytes",
+    "mixture_stream",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _emit(value: float, low: float, high: float, quantize: bool) -> float:
+    clipped = min(max(value, low), high)
+    return float(round(clipped)) if quantize else float(clipped)
+
+
+def random_walk(
+    seed=0,
+    start: float = 500.0,
+    step: float = 5.0,
+    low: float = 0.0,
+    high: float = 1000.0,
+    quantize: bool = True,
+) -> Iterator[float]:
+    """Reflected integer random walk in ``[low, high]``."""
+    rng = _rng(seed)
+    value = start
+    while True:
+        value += rng.normal(0.0, step)
+        value = min(max(value, low), high)
+        yield _emit(value, low, high, quantize)
+
+
+def level_shifts(
+    seed=0,
+    levels: tuple[float, float] = (50.0, 800.0),
+    dwell: int = 100,
+    noise: float = 5.0,
+    quantize: bool = True,
+) -> Iterator[float]:
+    """Piecewise-constant stream with abrupt level changes.
+
+    The geometric dwell time makes segment boundaries unpredictable; this
+    is the regime where V-optimal histograms shine (few buckets capture
+    long flat stretches exactly).
+    """
+    if dwell < 1:
+        raise ValueError("dwell must be >= 1")
+    rng = _rng(seed)
+    low_level, high_level = min(levels), max(levels)
+    while True:
+        level = rng.uniform(low_level, high_level)
+        length = 1 + rng.geometric(1.0 / dwell)
+        for _ in range(length):
+            yield _emit(level + rng.normal(0.0, noise), 0.0, 2 * high_level, quantize)
+
+
+def bursty_traffic(
+    seed=0,
+    base: float = 100.0,
+    burst_rate: float = 0.02,
+    burst_scale: float = 2000.0,
+    noise: float = 15.0,
+    quantize: bool = True,
+) -> Iterator[float]:
+    """Router-like byte counts: low base load plus Pareto-sized bursts."""
+    rng = _rng(seed)
+    burst_remaining = 0
+    burst_height = 0.0
+    while True:
+        if burst_remaining == 0 and rng.random() < burst_rate:
+            burst_remaining = int(rng.integers(3, 25))
+            burst_height = burst_scale * (rng.pareto(1.5) + 1.0)
+        level = base + (burst_height if burst_remaining > 0 else 0.0)
+        if burst_remaining > 0:
+            burst_remaining -= 1
+        yield _emit(level + rng.normal(0.0, noise), 0.0, 1e7, quantize)
+
+
+def diurnal_utilization(
+    seed=0,
+    period: int = 288,
+    amplitude: float = 400.0,
+    base: float = 500.0,
+    noise: float = 20.0,
+    quantize: bool = True,
+) -> Iterator[float]:
+    """Service-utilization curve with a daily cycle plus AR(1) noise."""
+    if period < 2:
+        raise ValueError("period must be >= 2")
+    rng = _rng(seed)
+    ar = 0.0
+    t = 0
+    while True:
+        ar = 0.9 * ar + rng.normal(0.0, noise)
+        cycle = amplitude * np.sin(2.0 * np.pi * t / period)
+        yield _emit(base + cycle + ar, 0.0, base + amplitude + 50 * noise, quantize)
+        t += 1
+
+
+def zipf_frequencies(
+    seed=0, alpha: float = 1.3, domain: int = 1000, quantize: bool = True
+) -> Iterator[float]:
+    """Skewed categorical values (Zipf ranks), the warehouse workload."""
+    if alpha <= 1.0:
+        raise ValueError("alpha must be > 1 for a proper Zipf law")
+    rng = _rng(seed)
+    while True:
+        value = rng.zipf(alpha)
+        yield _emit(min(value, domain), 0.0, domain, quantize)
+
+
+def gbm_prices(
+    seed=0,
+    start: float = 100.0,
+    drift: float = 0.0001,
+    volatility: float = 0.01,
+    quantize: bool = False,
+) -> Iterator[float]:
+    """Geometric-Brownian stock-like tick sequence."""
+    rng = _rng(seed)
+    price = start
+    while True:
+        price *= float(np.exp(drift - volatility**2 / 2 + volatility * rng.normal()))
+        yield _emit(price, 0.0, 1e9, quantize)
+
+
+def fault_sequence(
+    seed=0,
+    base_rate: float = 0.5,
+    storm_rate: float = 0.005,
+    storm_intensity: float = 25.0,
+    quantize: bool = True,
+) -> Iterator[float]:
+    """Network fault counts per interval: sparse background plus storms.
+
+    The paper's intro lists "fault sequences recording various types of
+    network faults" among the streams operators must monitor.  Faults are
+    Poisson at a low background rate; occasional correlated storms raise
+    the rate by orders of magnitude for a short burst.
+    """
+    if base_rate < 0 or storm_intensity < 0:
+        raise ValueError("rates must be non-negative")
+    rng = _rng(seed)
+    storm_remaining = 0
+    while True:
+        if storm_remaining == 0 and rng.random() < storm_rate:
+            storm_remaining = int(rng.integers(10, 60))
+        rate = base_rate + (storm_intensity if storm_remaining > 0 else 0.0)
+        if storm_remaining > 0:
+            storm_remaining -= 1
+        yield _emit(float(rng.poisson(rate)), 0.0, 1e6, quantize)
+
+
+def clickstream_bytes(
+    seed=0,
+    session_rate: float = 0.08,
+    page_mean: float = 9.5,
+    page_sigma: float = 1.2,
+    quantize: bool = True,
+) -> Iterator[float]:
+    """Web-server bytes retrieved per interval (a click stream).
+
+    The paper's intro: "a click stream sequence in terms of number of
+    bytes retrieved".  Sessions arrive at random; each interval's volume
+    is the sum of log-normally sized page fetches of the active sessions,
+    producing a heavy-tailed, autocorrelated byte sequence.
+    """
+    if not (0.0 <= session_rate <= 1.0):
+        raise ValueError("session_rate must be in [0, 1]")
+    rng = _rng(seed)
+    active: list[int] = []  # remaining pages per active session
+    while True:
+        if rng.random() < session_rate:
+            active.append(int(rng.integers(2, 30)))
+        volume = 0.0
+        still_active = []
+        for remaining in active:
+            volume += float(rng.lognormal(page_mean, page_sigma))
+            if remaining > 1:
+                still_active.append(remaining - 1)
+        active = still_active
+        yield _emit(volume, 0.0, 1e12, quantize)
+
+
+def mixture_stream(seed=0, quantize: bool = True) -> Iterator[float]:
+    """Rotate through regimes to exercise adaptation: walk, shifts, bursts."""
+    rng = _rng(seed)
+    sources = [
+        random_walk(seed=rng.integers(2**31), quantize=quantize),
+        level_shifts(seed=rng.integers(2**31), quantize=quantize),
+        bursty_traffic(seed=rng.integers(2**31), quantize=quantize),
+    ]
+    while True:
+        source = sources[int(rng.integers(len(sources)))]
+        for _ in range(int(rng.integers(50, 400))):
+            yield next(source)

@@ -1,0 +1,71 @@
+"""Sliding-window buffer (the paper's cyclic buffer M, section 3).
+
+A :class:`SlidingWindow` holds the last ``capacity`` stream points: when
+point ``i >= n`` arrives, the temporally oldest point is evicted and the
+new point takes its slot, so the buffer acts as a sliding window of length
+``n`` over the stream.  Successive window states share ``n - 1`` points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SlidingWindow"]
+
+
+class SlidingWindow:
+    """Cyclic buffer over the most recent ``capacity`` stream points."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._ring = np.zeros(capacity, dtype=np.float64)
+        self._total_seen = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def total_seen(self) -> int:
+        """Total number of points appended since construction."""
+        return self._total_seen
+
+    def __len__(self) -> int:
+        """Current number of buffered points (≤ capacity)."""
+        return min(self._total_seen, self._capacity)
+
+    @property
+    def is_full(self) -> bool:
+        return self._total_seen >= self._capacity
+
+    def append(self, value: float) -> float | None:
+        """Add a point; return the evicted point if the buffer was full."""
+        slot = self._total_seen % self._capacity
+        evicted = float(self._ring[slot]) if self.is_full else None
+        self._ring[slot] = float(value)
+        self._total_seen += 1
+        return evicted
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.append(value)
+
+    def __getitem__(self, index: int) -> float:
+        """Window-relative access: 0 is the oldest buffered point."""
+        length = len(self)
+        if index < 0:
+            index += length
+        if not (0 <= index < length):
+            raise IndexError(f"index {index} out of range for window length {length}")
+        oldest = self._total_seen - length
+        return float(self._ring[(oldest + index) % self._capacity])
+
+    def values(self) -> np.ndarray:
+        """Window contents oldest-first (a fresh array)."""
+        length = len(self)
+        if length < self._capacity:
+            return self._ring[:length].copy()
+        pivot = self._total_seen % self._capacity
+        return np.concatenate((self._ring[pivot:], self._ring[:pivot]))

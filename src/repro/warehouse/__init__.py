@@ -1,0 +1,12 @@
+"""Approximate query answering in a warehouse (paper section 5.2)."""
+
+from .aqp import AttributeSummary
+from .streaming import StreamingEquiDepthSummary, StreamingWaveletSummary
+from .table import Relation
+
+__all__ = [
+    "AttributeSummary",
+    "Relation",
+    "StreamingEquiDepthSummary",
+    "StreamingWaveletSummary",
+]

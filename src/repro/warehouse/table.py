@@ -1,0 +1,68 @@
+"""Minimal column-oriented relation for the warehouse experiments.
+
+Paper section 5.2 evaluates approximate query answering "in a data
+warehouse": build a histogram over a measure attribute in one pass, then
+answer range aggregates from the histogram alone.  This module supplies
+just enough relational substrate for that experiment -- named numeric
+columns with exact range aggregation as ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable bag of equal-length numeric columns."""
+
+    def __init__(self, columns: dict[str, np.ndarray]) -> None:
+        if not columns:
+            raise ValueError("a relation needs at least one column")
+        sizes = {name: np.asarray(values).size for name, values in columns.items()}
+        if len(set(sizes.values())) != 1:
+            raise ValueError(f"column lengths differ: {sizes}")
+        self._columns = {
+            name: np.asarray(values, dtype=np.float64).copy()
+            for name, values in columns.items()
+        }
+        self._rows = next(iter(sizes.values()))
+
+    def __len__(self) -> int:
+        return self._rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self._columns:
+            raise KeyError(f"no column {name!r}; have {self.column_names}")
+        return self._columns[name].copy()
+
+    def count_range(self, name: str, low: float, high: float) -> int:
+        """Exact COUNT(*) WHERE low <= name <= high."""
+        column = self._columns[name] if name in self._columns else self.column(name)
+        return int(np.count_nonzero((column >= low) & (column <= high)))
+
+    def sum_range(self, name: str, low: float, high: float) -> float:
+        """Exact SUM(name) WHERE low <= name <= high."""
+        column = self._columns[name] if name in self._columns else self.column(name)
+        mask = (column >= low) & (column <= high)
+        return float(column[mask].sum())
+
+    def frequency_vector(self, name: str) -> np.ndarray:
+        """Occurrence counts of each integer value in ``[0, max]``.
+
+        The classic histogram-construction input: approximating this
+        vector with B buckets is exactly the [JKM+98] problem, and range
+        aggregates over the attribute become range sums over the vector.
+        """
+        column = self._columns[name] if name in self._columns else self.column(name)
+        if np.any(column < 0):
+            raise ValueError("frequency vectors require non-negative values")
+        rounded = np.round(column).astype(np.int64)
+        if not np.allclose(column, rounded):
+            raise ValueError("frequency vectors require integer-valued columns")
+        return np.bincount(rounded).astype(np.float64)

@@ -1,0 +1,21 @@
+"""Haar wavelet synopses: the comparison baseline of paper section 5.1."""
+
+from .haar import (
+    coefficient_support,
+    haar_inverse,
+    haar_transform,
+    is_power_of_two,
+    next_power_of_two,
+)
+from .dynamic import DynamicWaveletHistogram
+from .synopsis import WaveletSynopsis
+
+__all__ = [
+    "DynamicWaveletHistogram",
+    "WaveletSynopsis",
+    "coefficient_support",
+    "haar_inverse",
+    "haar_transform",
+    "is_power_of_two",
+    "next_power_of_two",
+]

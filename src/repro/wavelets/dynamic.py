@@ -1,0 +1,116 @@
+"""Dynamic maintenance of wavelet-based histograms ([MVW00]).
+
+The paper's related work cites Matias, Vitter & Wang's dynamic
+wavelet-based histograms: a synopsis of a *frequency vector* (value ->
+occurrence count) kept up to date as individual rows arrive or are
+deleted.  Because one point update to the frequency vector touches
+exactly the ``log2(n) + 1`` Haar coefficients on the root-to-leaf path,
+the full coefficient set can be maintained incrementally in O(log n) per
+update; the top-B synopsis is extracted on demand.
+
+This is the streaming comparator for the warehouse experiments: it plays
+the same role for the *distribution* as the fixed-window builder plays
+for the *sequence*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .haar import coefficient_support
+from .synopsis import WaveletSynopsis
+
+__all__ = ["DynamicWaveletHistogram"]
+
+
+class DynamicWaveletHistogram:
+    """Incrementally maintained Haar decomposition of a frequency vector.
+
+    ``domain_size`` fixes the value domain ``[0, domain_size)`` (padded
+    internally to a power of two).  ``insert(value)`` / ``delete(value)``
+    adjust the frequency of one value in O(log n); ``synopsis(budget)``
+    returns the current top-``budget`` coefficient synopsis.
+    """
+
+    def __init__(self, domain_size: int) -> None:
+        if domain_size < 1:
+            raise ValueError("domain_size must be >= 1")
+        self.domain_size = domain_size
+        padded = 1
+        while padded < domain_size:
+            padded *= 2
+        self._padded = padded
+        self._coefficients = np.zeros(padded, dtype=np.float64)
+        self._count = 0
+
+    @property
+    def padded_length(self) -> int:
+        return self._padded
+
+    def __len__(self) -> int:
+        """Number of rows currently reflected in the frequencies."""
+        return self._count
+
+    def _update(self, value: int, delta: float) -> None:
+        if not (0 <= value < self.domain_size):
+            raise ValueError(
+                f"value {value} outside domain [0, {self.domain_size})"
+            )
+        n = self._padded
+        # Scaling coefficient: every unit of frequency adds 1/sqrt(n).
+        self._coefficients[0] += delta / np.sqrt(n)
+        index = 1
+        while index < n:
+            start, mid, end = coefficient_support(index, n)
+            if not (start <= value < end):
+                break
+            sign = 1.0 if value < mid else -1.0
+            self._coefficients[index] += sign * delta / np.sqrt(end - start)
+            index = 2 * index + (0 if value < mid else 1)
+
+    def insert(self, value: int) -> None:
+        """One row with attribute ``value`` arrives."""
+        self._update(int(value), 1.0)
+        self._count += 1
+
+    def delete(self, value: int) -> None:
+        """One row with attribute ``value`` is removed."""
+        if self._count == 0:
+            raise ValueError("nothing to delete")
+        self._update(int(value), -1.0)
+        self._count -= 1
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.insert(value)
+
+    def frequencies(self) -> np.ndarray:
+        """The exact maintained frequency vector (for verification)."""
+        from .haar import haar_inverse
+
+        return haar_inverse(self._coefficients)[: self.domain_size]
+
+    def synopsis(self, budget: int) -> WaveletSynopsis:
+        """Top-``budget`` coefficient synopsis of the current frequencies."""
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        keep = min(budget, self._padded)
+        order = np.lexsort(
+            (np.arange(self._padded), -np.abs(self._coefficients))
+        )[:keep]
+        retained = {
+            int(i): float(self._coefficients[i])
+            for i in order
+            if self._coefficients[i] != 0.0 or int(i) == 0
+        }
+        if not retained:
+            retained = {0: 0.0}
+        return WaveletSynopsis(retained, self._padded, self.domain_size)
+
+    def estimate_count(self, low: int, high: int, budget: int = 64) -> float:
+        """Estimated number of rows with value in ``[low, high]``."""
+        low = max(0, int(low))
+        high = min(self.domain_size - 1, int(high))
+        if low > high:
+            return 0.0
+        return max(0.0, self.synopsis(budget).range_sum(low, high))

@@ -1,0 +1,102 @@
+"""Orthonormal Haar wavelet transform.
+
+Substrate for the wavelet-histogram baseline the paper compares against
+([MVW], section 5.1).  The transform is the standard iterative
+average/difference pyramid with ``1/sqrt(2)`` normalization, so the basis
+is orthonormal: L2 energy is preserved (Parseval) and keeping the largest
+coefficients is the L2-optimal thresholding.
+
+Coefficient layout for an input of (power-of-two) length ``n``:
+
+* index 0 -- scaling coefficient (overall average times ``sqrt(n)``);
+* index ``k = 2**level + offset`` (``level`` from 0 = coarsest) -- the
+  detail coefficient whose support is the block of length
+  ``n / 2**level`` starting at ``offset * n / 2**level``; it adds
+  ``+c / sqrt(block)`` on the first half and ``-c / sqrt(block)`` on the
+  second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "haar_transform",
+    "haar_inverse",
+    "is_power_of_two",
+    "next_power_of_two",
+    "coefficient_support",
+]
+
+_SQRT2 = float(np.sqrt(2.0))
+
+
+def is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def haar_transform(values) -> np.ndarray:
+    """Orthonormal Haar coefficients of a power-of-two-length sequence."""
+    array = np.asarray(values, dtype=np.float64).copy()
+    n = array.size
+    if not is_power_of_two(n):
+        raise ValueError(f"length {n} is not a power of two")
+    output = np.empty(n, dtype=np.float64)
+    width = n
+    while width > 1:
+        half = width // 2
+        evens = array[0:width:2]
+        odds = array[1:width:2]
+        # Details of this level land at [half, width); averages cascade.
+        output[half:width] = (evens - odds) / _SQRT2
+        array[:half] = (evens + odds) / _SQRT2
+        width = half
+    output[0] = array[0]
+    return output
+
+
+def haar_inverse(coefficients) -> np.ndarray:
+    """Invert :func:`haar_transform`."""
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    n = coeffs.size
+    if not is_power_of_two(n):
+        raise ValueError(f"length {n} is not a power of two")
+    array = coeffs.copy()
+    width = 1
+    while width < n:
+        averages = array[:width].copy()
+        details = array[width : 2 * width].copy()
+        array[0 : 2 * width : 2] = (averages + details) / _SQRT2
+        array[1 : 2 * width : 2] = (averages - details) / _SQRT2
+        width *= 2
+    return array
+
+
+def coefficient_support(index: int, n: int) -> tuple[int, int, int]:
+    """Support of coefficient ``index`` as ``(start, mid, end)``.
+
+    The coefficient adds ``+c/sqrt(end - start)`` on ``[start, mid)`` and
+    ``-c/sqrt(end - start)`` on ``[mid, end)``.  For the scaling
+    coefficient (index 0) the "positive half" is the whole domain and
+    ``mid == end``.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"length {n} is not a power of two")
+    if not (0 <= index < n):
+        raise IndexError(f"coefficient index {index} out of range for n={n}")
+    if index == 0:
+        return 0, n, n
+    level = index.bit_length() - 1
+    offset = index - (1 << level)
+    block = n >> level
+    start = offset * block
+    return start, start + block // 2, start + block

@@ -1,0 +1,54 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+#: Small integer-valued sequences, the paper's data model (bounded integers).
+int_sequences = st.lists(
+    st.integers(min_value=0, max_value=100), min_size=1, max_size=60
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+#: Sequences long enough for multi-bucket histograms.
+longer_sequences = st.lists(
+    st.integers(min_value=0, max_value=100), min_size=8, max_size=80
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+#: Modest float sequences for numeric modules (wavelets, distances).
+float_sequences = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=64,
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+bucket_counts = st.integers(min_value=1, max_value=8)
+epsilons = st.sampled_from([0.05, 0.1, 0.25, 0.5, 1.0])
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def step_sequence() -> np.ndarray:
+    """Three exact plateaus: optimal 3-bucket SSE is zero."""
+    return np.asarray([1.0] * 5 + [7.0] * 4 + [3.0] * 6)
+
+
+@pytest.fixture
+def utilization_1k() -> np.ndarray:
+    from repro.datasets import att_utilization_stream
+
+    return att_utilization_stream(1000, seed=42)

@@ -1,0 +1,123 @@
+"""Tests for the agglomerative streaming builder (repro.core.agglomerative).
+
+The headline property is the [GKS01] guarantee the paper restates: after
+any prefix, the emitted B-bucket histogram's SSE is within ``(1 + eps)``
+of the optimal B-bucket SSE of that prefix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agglomerative import AgglomerativeHistogramBuilder
+from repro.core.optimal import optimal_error
+
+from .conftest import bucket_counts, epsilons, longer_sequences
+
+
+class TestConstruction:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            AgglomerativeHistogramBuilder(0, 0.1)
+        with pytest.raises(ValueError):
+            AgglomerativeHistogramBuilder(4, 0.0)
+        with pytest.raises(ValueError):
+            AgglomerativeHistogramBuilder(4, -1.0)
+
+    def test_delta_is_eps_over_2b(self):
+        builder = AgglomerativeHistogramBuilder(5, 0.5)
+        assert builder.delta == pytest.approx(0.05)
+
+    def test_empty_builder_has_no_histogram(self):
+        builder = AgglomerativeHistogramBuilder(4, 0.1)
+        with pytest.raises(ValueError):
+            builder.histogram()
+        with pytest.raises(ValueError):
+            _ = builder.error_estimate
+
+
+class TestStreamingBehaviour:
+    def test_single_point(self):
+        builder = AgglomerativeHistogramBuilder(4, 0.1)
+        builder.append(42.0)
+        histogram = builder.histogram()
+        assert len(histogram) == 1
+        assert histogram.point_estimate(0) == 42.0
+        assert builder.error_estimate == 0.0
+
+    def test_fewer_points_than_buckets_is_exact(self):
+        builder = AgglomerativeHistogramBuilder(8, 0.1)
+        values = [5.0, 1.0, 9.0, 2.0]
+        builder.extend(values)
+        histogram = builder.histogram()
+        assert histogram.sse(values) == 0.0
+        assert list(histogram.to_array()) == values
+
+    def test_histogram_length_tracks_prefix(self):
+        builder = AgglomerativeHistogramBuilder(3, 0.2)
+        for count in range(1, 30):
+            builder.append(float(count % 7))
+            assert len(builder.histogram()) == count
+            assert len(builder) == count
+
+    def test_plateaus_exact(self, step_sequence):
+        builder = AgglomerativeHistogramBuilder(3, 0.1)
+        builder.extend(step_sequence)
+        assert builder.error_estimate == pytest.approx(0.0, abs=1e-9)
+        assert builder.histogram().sse(step_sequence) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_bucket_builder(self):
+        values = [1.0, 3.0, 5.0]
+        builder = AgglomerativeHistogramBuilder(1, 0.5)
+        builder.extend(values)
+        histogram = builder.histogram()
+        assert histogram.num_buckets == 1
+        assert histogram.buckets[0].value == 3.0
+
+    def test_queue_sizes_bounded(self, utilization_1k):
+        builder = AgglomerativeHistogramBuilder(6, 0.25)
+        builder.extend(utilization_1k)
+        sizes = builder.queue_sizes()
+        assert len(sizes) == 5
+        # Far below the stream length: the point of the interval cover.
+        assert all(size < len(utilization_1k) // 2 for size in sizes)
+        assert builder.memory_footprint() == sum(sizes)
+
+
+class TestApproximationGuarantee:
+    @given(longer_sequences, bucket_counts, epsilons)
+    @settings(max_examples=60, deadline=None)
+    def test_final_histogram_within_factor(self, values, buckets, epsilon):
+        builder = AgglomerativeHistogramBuilder(buckets, epsilon)
+        builder.extend(values)
+        histogram = builder.histogram()
+        optimum = optimal_error(values, buckets)
+        sse = histogram.sse(values)
+        assert sse <= (1.0 + epsilon) * optimum + 1e-6
+        # The reported estimate is the true SSE of the emitted partition.
+        assert builder.error_estimate == pytest.approx(sse, rel=1e-6, abs=1e-6)
+
+    @given(longer_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_guarantee_holds_at_every_prefix(self, values):
+        buckets, epsilon = 4, 0.25
+        builder = AgglomerativeHistogramBuilder(buckets, epsilon)
+        for index, value in enumerate(values):
+            builder.append(value)
+            prefix = values[: index + 1]
+            sse = builder.histogram().sse(prefix)
+            assert sse <= (1.0 + epsilon) * optimal_error(prefix, buckets) + 1e-6
+
+    def test_tighter_epsilon_no_worse_on_real_data(self, utilization_1k):
+        values = utilization_1k[:400]
+        optimum = optimal_error(values, 8)
+        errors = {}
+        for epsilon in (1.0, 0.1):
+            builder = AgglomerativeHistogramBuilder(8, epsilon)
+            builder.extend(values)
+            errors[epsilon] = builder.histogram().sse(values)
+            assert errors[epsilon] <= (1.0 + epsilon) * optimum + 1e-6
+        assert errors[0.1] <= errors[1.0] * 1.5  # loose sanity: not far worse

@@ -1,0 +1,48 @@
+"""Tests for the one-shot epsilon-approximate construction (Problem 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.approx import approximate_error, approximate_histogram
+from repro.core.optimal import optimal_error
+
+from .conftest import bucket_counts, epsilons, longer_sequences
+
+
+class TestApproximateHistogram:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            approximate_histogram([], 4, 0.1)
+        with pytest.raises(ValueError):
+            approximate_error([], 4, 0.1)
+
+    def test_exact_when_enough_buckets(self):
+        values = [3.0, 1.0, 4.0, 1.0]
+        histogram = approximate_histogram(values, 4, 0.1)
+        assert histogram.sse(values) == 0.0
+
+    def test_error_matches_histogram(self):
+        values = np.asarray([5.0, 5.0, 1.0, 1.0, 9.0, 9.0, 9.0])
+        histogram = approximate_histogram(values, 3, 0.1)
+        assert approximate_error(values, 3, 0.1) == pytest.approx(
+            histogram.sse(values), rel=1e-9, abs=1e-9
+        )
+
+    @given(longer_sequences, bucket_counts, epsilons)
+    @settings(max_examples=50, deadline=None)
+    def test_problem2_guarantee(self, values, buckets, epsilon):
+        """E(H) <= (1 + eps) * min over all B-bucket histograms."""
+        histogram = approximate_histogram(values, buckets, epsilon)
+        assert histogram.sse(values) <= (1.0 + epsilon) * optimal_error(
+            values, buckets
+        ) + 1e-6
+
+    @given(longer_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_uses_at_most_b_buckets(self, values):
+        histogram = approximate_histogram(values, 4, 0.25)
+        assert histogram.num_buckets <= 4
+        assert len(histogram) == values.size

@@ -1,0 +1,210 @@
+"""Tests for the experiment harness (repro.bench): table machinery plus a
+tiny-scale integration run of every experiment the benchmarks use."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench import (
+    ResultTable,
+    Stopwatch,
+    agglomerative_vs_optimal,
+    agglomerative_vs_wavelet,
+    epsilon_ablation,
+    fig6_accuracy,
+    fig6_time,
+    interval_growth_ablation,
+    scaling_ablation,
+    similarity_subsequence,
+    similarity_whole,
+    time_call,
+)
+
+
+class TestResultTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            ResultTable("t", [])
+
+    def test_rejects_unknown_and_missing(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(a=1)
+        with pytest.raises(ValueError):
+            table.add_row(a=1, b=2, c=3)
+
+    def test_round_trip(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_row(a=3, b=0.0001)
+        assert len(table) == 2
+        assert table.column("a") == [1, 3]
+        assert table.rows()[0] == {"a": 1, "b": 2.5}
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_render_contains_everything(self):
+        table = ResultTable("My title", ["metric", "value"])
+        table.add_row(metric="x", value=1.25)
+        text = table.render()
+        assert "My title" in text
+        assert "metric" in text and "value" in text
+        assert "1.25" in text
+
+    def test_tsv(self):
+        table = ResultTable("t", ["a"])
+        table.add_row(a=7)
+        assert table.to_tsv() == "a\n7"
+
+    def test_str_is_render(self):
+        table = ResultTable("t", ["a"])
+        assert str(table) == table.render()
+
+
+class TestTiming:
+    def test_time_call(self):
+        result, elapsed = time_call(lambda: 41 + 1)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            sum(range(1000))
+        assert watch.elapsed >= first
+
+
+class TestExperimentsTinyScale:
+    """Every experiment must run end to end and produce sane shapes."""
+
+    def test_fig6_accuracy(self):
+        table = fig6_accuracy(
+            0.5, window_sizes=(64,), bucket_counts=(4,), stream_extra=128,
+            evaluations=2, queries_per_evaluation=8,
+        )
+        assert len(table) == 1
+        row = table.rows()[0]
+        assert row["exact"] == 0.0
+        assert row["histogram"] >= 0.0
+        assert row["wavelet"] >= 0.0
+
+    def test_fig6_time(self):
+        table = fig6_time(0.5, window_sizes=(64,), bucket_counts=(4,), arrivals=5)
+        row = table.rows()[0]
+        assert row["histogram_ms"] > 0.0
+        assert row["wavelet_ms"] > 0.0
+        assert row["herror_evals"] > 0
+
+    def test_agglomerative_vs_wavelet(self):
+        table = agglomerative_vs_wavelet(400, (4,), 0.5, queries=20)
+        row = table.rows()[0]
+        assert row["agg_err"] >= 0.0 and row["wav_err"] >= 0.0
+        assert row["agg_seconds"] > 0.0
+
+    def test_agglomerative_vs_optimal(self):
+        table = agglomerative_vs_optimal(
+            domains=(64,), rows_per_domain=2000, num_buckets=8, queries=10,
+        )
+        row = table.rows()[0]
+        assert row["err_optimal"] >= 0.0
+        assert row["err_approx"] >= 0.0
+        assert row["speedup"] > 0.0
+
+    def test_similarity_whole(self):
+        table = similarity_whole(count=20, length=64, budget=8, num_queries=3, k=3)
+        assert len(table) == 4
+        for row in table:
+            assert row["false_positives"] >= 0
+            assert row["verified"] >= 3 * 3  # at least k per query
+
+    def test_similarity_subsequence(self):
+        table = similarity_subsequence(
+            stream_length=512, window_length=64, budget=8, stride=32, num_queries=2,
+        )
+        assert len(table) == 3
+        for row in table:
+            assert row["verified"] >= row["matches"]
+
+    def test_epsilon_ablation(self):
+        table = epsilon_ablation(64, 4, (1.0, 0.25), arrivals=4)
+        ratios = table.column("sse_ratio")
+        assert all(r <= 2.0 + 1e-9 for r in ratios)
+        assert all(r >= 1.0 - 1e-9 for r in ratios)
+
+    def test_scaling_ablation(self):
+        table = scaling_ablation((32, 64), 4, 0.5, arrivals=3, max_dp_window=32)
+        rows = table.rows()
+        assert rows[0]["dp_ms"] > 0.0
+        assert math.isnan(rows[1]["dp_ms"])  # skipped above the DP cap
+        assert all(row["fw_ms"] > 0.0 for row in rows)
+
+    def test_interval_growth_ablation(self):
+        table = interval_growth_ablation((64, 128), 4, (0.5,))
+        counts = table.column("mean_intervals")
+        assert all(count >= 1 for count in counts)
+
+    def test_aggregate_variants(self):
+        from repro.bench import aggregate_variants
+
+        table = aggregate_variants(window=64, num_buckets=6, queries=20)
+        assert sorted(table.column("aggregate")) == [
+            "point", "range_avg", "range_sum",
+        ]
+        for row in table:
+            assert row["histogram_rel_err"] >= 0.0
+
+    def test_heuristic_quality(self):
+        from repro.bench import heuristic_quality
+
+        table = heuristic_quality((128,), 8)
+        row = table.rows()[0]
+        assert row["approx"] >= 1.0 - 1e-9
+        assert row["maxdiff"] >= 1.0 - 1e-9
+
+    def test_change_detection(self):
+        from repro.bench import change_detection
+
+        table = change_detection(
+            window_sizes=(64,), num_changes=2, segment_length=500,
+        )
+        row = table.rows()[0]
+        assert 0.0 <= row["recall"] <= 1.0
+        assert row["spurious_per_1k"] >= 0.0
+
+    def test_span_breakdown(self):
+        from repro.bench import span_breakdown
+
+        table = span_breakdown(
+            window=64, num_buckets=6, queries_per_band=10,
+            bands=((1, 8), (8, 32)),
+        )
+        assert len(table) == 2
+
+    def test_space_accuracy_sweep(self):
+        from repro.bench import space_accuracy_sweep
+
+        table = space_accuracy_sweep(length=128, budgets=(4, 8))
+        for row in table:
+            assert row["approx"] >= 1.0 - 1e-9
+
+    def test_maintenance_cadence(self):
+        from repro.bench import maintenance_cadence
+
+        table = maintenance_cadence(
+            window=64, cadences=(1, 8), arrivals=64,
+            queries_per_checkpoint=4,
+        )
+        rows = table.rows()
+        assert rows[0]["ms_per_arrival"] > rows[1]["ms_per_arrival"]
+
+    def test_workload_aware(self):
+        from repro.bench import workload_aware
+
+        table = workload_aware(window=128, num_buckets=6, queries=40)
+        rows = {row["histogram"]: row for row in table}
+        assert set(rows) == {"plain", "workload-aware"}

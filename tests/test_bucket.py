@@ -1,0 +1,150 @@
+"""Tests for the histogram data model (repro.core.bucket)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bucket import Bucket, Histogram
+
+from .conftest import int_sequences
+
+
+class TestBucket:
+    def test_size_and_total(self):
+        bucket = Bucket(2, 5, 3.0)
+        assert bucket.size == 4
+        assert bucket.total == 12.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Bucket(3, 2, 1.0)
+        with pytest.raises(ValueError):
+            Bucket(-1, 2, 1.0)
+
+    def test_overlap_sum(self):
+        bucket = Bucket(2, 5, 2.0)
+        assert bucket.overlap_sum(0, 10) == 8.0  # full overlap
+        assert bucket.overlap_sum(4, 10) == 4.0  # partial
+        assert bucket.overlap_sum(6, 10) == 0.0  # disjoint
+        assert bucket.overlap_sum(3, 3) == 2.0  # single position
+
+
+class TestHistogramConstruction:
+    def test_requires_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            Histogram([Bucket(1, 3, 1.0)])
+
+    def test_must_be_contiguous(self):
+        with pytest.raises(ValueError):
+            Histogram([Bucket(0, 2, 1.0), Bucket(4, 5, 2.0)])
+        with pytest.raises(ValueError):
+            Histogram([Bucket(0, 2, 1.0), Bucket(2, 5, 2.0)])
+
+    def test_from_boundaries_means(self):
+        histogram = Histogram.from_boundaries([1.0, 3.0, 10.0, 20.0], [1])
+        assert histogram.num_buckets == 2
+        assert histogram.buckets[0].value == 2.0
+        assert histogram.buckets[1].value == 15.0
+
+    def test_from_boundaries_rejects_bad_splits(self):
+        with pytest.raises(ValueError):
+            Histogram.from_boundaries([1.0, 2.0], [5])
+
+    def test_from_boundaries_empty(self):
+        with pytest.raises(ValueError):
+            Histogram.from_boundaries([], [])
+
+    def test_equality_and_hash(self):
+        a = Histogram.from_boundaries([1.0, 2.0, 3.0], [0])
+        b = Histogram.from_boundaries([1.0, 2.0, 3.0], [0])
+        c = Histogram.from_boundaries([1.0, 2.0, 3.0], [1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_boundaries_roundtrip(self):
+        histogram = Histogram.from_boundaries(np.arange(10.0), [2, 6])
+        assert histogram.boundaries() == [2, 6]
+
+
+class TestHistogramQueries:
+    @pytest.fixture
+    def simple(self) -> Histogram:
+        # values: [2, 2, 2, 8, 8] approximated exactly.
+        return Histogram([Bucket(0, 2, 2.0), Bucket(3, 4, 8.0)])
+
+    def test_len(self, simple):
+        assert len(simple) == 5
+
+    def test_point_estimate(self, simple):
+        assert simple.point_estimate(0) == 2.0
+        assert simple.point_estimate(2) == 2.0
+        assert simple.point_estimate(3) == 8.0
+        with pytest.raises(IndexError):
+            simple.point_estimate(5)
+
+    def test_range_sum_within_bucket(self, simple):
+        assert simple.range_sum(0, 1) == 4.0
+
+    def test_range_sum_across_buckets(self, simple):
+        assert simple.range_sum(1, 4) == 2.0 * 2 + 8.0 * 2
+
+    def test_range_sum_whole(self, simple):
+        assert simple.range_sum(0, 4) == 22.0
+
+    def test_range_average(self, simple):
+        assert simple.range_average(0, 4) == pytest.approx(22.0 / 5)
+
+    def test_empty_range_rejected(self, simple):
+        with pytest.raises(ValueError):
+            simple.range_sum(3, 2)
+
+    def test_to_array(self, simple):
+        assert list(simple.to_array()) == [2.0, 2.0, 2.0, 8.0, 8.0]
+
+    def test_sse_exact_representation(self, simple):
+        values = [2.0, 2.0, 2.0, 8.0, 8.0]
+        assert simple.sse(values) == 0.0
+
+    def test_sse_length_mismatch(self, simple):
+        with pytest.raises(ValueError):
+            simple.sse([1.0, 2.0])
+
+    def test_describe_contains_every_bucket(self, simple):
+        text = simple.describe()
+        assert text.count("->") == simple.num_buckets
+
+    @given(int_sequences, st.data())
+    def test_range_sum_consistent_with_to_array(self, values, data):
+        n = values.size
+        splits = sorted(
+            data.draw(st.sets(st.integers(0, max(0, n - 2)), max_size=4))
+        )
+        splits = [s for s in splits if s < n - 1]
+        histogram = Histogram.from_boundaries(values, splits)
+        dense = histogram.to_array()
+        i = data.draw(st.integers(0, n - 1))
+        j = data.draw(st.integers(i, n - 1))
+        assert histogram.range_sum(i, j) == pytest.approx(
+            float(dense[i : j + 1].sum()), abs=1e-9
+        )
+
+    @given(int_sequences)
+    def test_single_bucket_total_sum_exact(self, values):
+        """With mean representatives, the whole-range sum is exact."""
+        histogram = Histogram.from_boundaries(values, [])
+        assert histogram.range_sum(0, values.size - 1) == pytest.approx(
+            float(values.sum()), rel=1e-9, abs=1e-6
+        )
+
+    @given(int_sequences)
+    def test_rebucket_means_is_identity_on_mean_histograms(self, values):
+        histogram = Histogram.from_boundaries(values, [])
+        assert histogram.rebucket_means(values) == histogram

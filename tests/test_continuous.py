@@ -1,0 +1,151 @@
+"""Tests for continuous queries and alerts (repro.query.continuous)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query.continuous import Alert, ContinuousQueryEngine, StandingQuery
+
+
+def _engine(window: int = 32, **kwargs) -> ContinuousQueryEngine:
+    return ContinuousQueryEngine(window, num_buckets=4, epsilon=0.25, **kwargs)
+
+
+class TestStandingQuery:
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            StandingQuery("bad", 5, 2)
+        with pytest.raises(ValueError):
+            StandingQuery("bad", 0, 3, aggregate="median")
+
+    def test_breaches_above_and_below(self):
+        above = StandingQuery("hi", 0, 3, threshold=10.0, above=True)
+        assert above.breaches(11.0)
+        assert not above.breaches(10.0)
+        below = StandingQuery("lo", 0, 3, threshold=10.0, above=False)
+        assert below.breaches(9.0)
+        assert not below.breaches(10.0)
+
+    def test_no_threshold_never_breaches(self):
+        query = StandingQuery("plain", 0, 3)
+        assert not query.breaches(1e12)
+
+
+class TestRegistration:
+    def test_duplicate_names_rejected(self):
+        engine = _engine()
+        engine.register(StandingQuery("q", 0, 7))
+        with pytest.raises(ValueError):
+            engine.register(StandingQuery("q", 0, 3))
+
+    def test_range_must_fit_window(self):
+        engine = _engine(window=16)
+        with pytest.raises(ValueError):
+            engine.register(StandingQuery("big", 0, 16))
+
+    def test_deregister(self):
+        engine = _engine()
+        engine.register(StandingQuery("q", 0, 7))
+        engine.deregister("q")
+        assert engine.query_names == []
+        with pytest.raises(KeyError):
+            engine.deregister("q")
+        with pytest.raises(KeyError):
+            engine.answers("q")
+        with pytest.raises(KeyError):
+            engine.last_answer("q")
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            _engine(check_every=0)
+        with pytest.raises(ValueError):
+            _engine(keep_history=-1)
+
+
+class TestEvaluation:
+    def test_no_answers_before_window_full(self):
+        engine = _engine(window=16)
+        engine.register(StandingQuery("q", 0, 15))
+        for value in range(10):
+            assert engine.update(float(value)) == []
+        assert engine.last_answer("q") is None
+
+    def test_answers_track_window_sum(self):
+        engine = _engine(window=8)
+        engine.register(StandingQuery("total", 0, 7))
+        stream = np.arange(1.0, 25.0)
+        for value in stream:
+            engine.update(float(value))
+        # Synopsis whole-window sums are exact (mean representatives).
+        expected = float(stream[-8:].sum())
+        assert engine.last_answer("total") == pytest.approx(expected)
+
+    def test_average_aggregate(self):
+        engine = _engine(window=8)
+        engine.register(StandingQuery("mean", 0, 7, aggregate="avg"))
+        for value in [4.0] * 20:
+            engine.update(value)
+        assert engine.last_answer("mean") == pytest.approx(4.0)
+
+    def test_history_bounded(self):
+        engine = _engine(window=4, keep_history=5)
+        engine.register(StandingQuery("q", 0, 3))
+        for value in range(50):
+            engine.update(float(value))
+        assert len(engine.answers("q")) == 5
+
+    def test_check_cadence(self):
+        engine = _engine(window=4, check_every=8)
+        engine.register(StandingQuery("q", 0, 3))
+        for value in range(33):
+            engine.update(float(value))
+        positions = [position for position, _ in engine.answers("q")]
+        assert positions == [8, 16, 24, 32]
+
+
+class TestAlerts:
+    def test_edge_triggered(self):
+        engine = _engine(window=4)
+        engine.register(StandingQuery("hot", 0, 3, threshold=100.0))
+        # Quiet, then a sustained burst: exactly one alert on the edge.
+        stream = [1.0] * 16 + [200.0] * 16
+        alerts = engine.run(stream)
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert isinstance(alert, Alert)
+        assert alert.query_name == "hot"
+        assert alert.answer > alert.threshold
+
+    def test_realerts_after_recovery(self):
+        engine = _engine(window=4)
+        engine.register(StandingQuery("hot", 0, 3, threshold=100.0))
+        stream = [1.0] * 12 + [200.0] * 12 + [1.0] * 12 + [200.0] * 12
+        alerts = engine.run(stream)
+        assert len(alerts) == 2
+
+    def test_below_threshold_alert(self):
+        engine = _engine(window=4)
+        engine.register(
+            StandingQuery("cold", 0, 3, aggregate="avg", threshold=10.0, above=False)
+        )
+        stream = [50.0] * 10 + [1.0] * 10
+        alerts = engine.run(stream)
+        assert len(alerts) == 1
+
+    def test_callback_invoked(self):
+        seen = []
+        engine = _engine(window=4, on_alert=seen.append)
+        engine.register(StandingQuery("hot", 0, 3, threshold=50.0))
+        engine.run([1.0] * 8 + [100.0] * 8)
+        assert len(seen) == 1
+        assert seen[0] is engine.alerts[0]
+
+    def test_multiple_queries_independent(self):
+        engine = _engine(window=8)
+        engine.register(StandingQuery("recent", 4, 7, threshold=400.0))
+        engine.register(StandingQuery("whole", 0, 7, threshold=10_000.0))
+        engine.run([1.0] * 16 + [150.0] * 16)
+        names = [alert.query_name for alert in engine.alerts]
+        assert "recent" in names
+        assert "whole" not in names

@@ -1,0 +1,103 @@
+"""Tests for the synthetic benchmark datasets (repro.datasets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    att_utilization_stream,
+    timeseries_collection,
+    warehouse_measure_column,
+)
+
+
+class TestUtilizationStream:
+    def test_validates_length(self):
+        with pytest.raises(ValueError):
+            att_utilization_stream(0)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            att_utilization_stream(500, seed=1), att_utilization_stream(500, seed=1)
+        )
+        assert not np.array_equal(
+            att_utilization_stream(500, seed=1), att_utilization_stream(500, seed=2)
+        )
+
+    def test_integer_nonnegative(self):
+        values = att_utilization_stream(2000, seed=3)
+        assert np.all(values >= 0)
+        assert np.array_equal(values, np.round(values))
+
+    def test_has_diurnal_structure(self):
+        values = att_utilization_stream(288 * 4, seed=4)
+        # Autocorrelation at one period should clearly beat a random lag.
+        def autocorr(lag: int) -> float:
+            a, b = values[:-lag], values[lag:]
+            return float(np.corrcoef(a, b)[0, 1])
+
+        assert autocorr(288) > autocorr(137)
+
+    def test_has_bursts(self):
+        values = att_utilization_stream(5000, seed=5)
+        assert values.max() > np.percentile(values, 99) * 1.2
+
+    def test_prefix_stability(self):
+        """Longer streams extend shorter ones? Not required -- but seeds fix
+        the *sequence*, so equal lengths agree and that is what benches use."""
+        a = att_utilization_stream(300, seed=6)
+        b = att_utilization_stream(300, seed=6)
+        assert np.array_equal(a, b)
+
+
+class TestWarehouseColumn:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            warehouse_measure_column(0)
+        with pytest.raises(ValueError):
+            warehouse_measure_column(10, domain=5)
+
+    def test_range_and_type(self):
+        values = warehouse_measure_column(5000, seed=7, domain=500)
+        assert values.min() >= 0
+        assert values.max() <= 500
+        assert np.array_equal(values, np.round(values))
+
+    def test_skewed(self):
+        values = warehouse_measure_column(20000, seed=8)
+        assert np.median(values) < values.mean() or np.percentile(values, 95) > 3 * np.median(values)
+
+    def test_domain_scales(self):
+        small = warehouse_measure_column(5000, seed=9, domain=100)
+        large = warehouse_measure_column(5000, seed=9, domain=4000)
+        assert large.max() > small.max()
+
+
+class TestTimeseriesCollection:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            timeseries_collection(0, 64)
+        with pytest.raises(ValueError):
+            timeseries_collection(5, 2)
+        with pytest.raises(ValueError):
+            timeseries_collection(5, 64, families=0)
+
+    def test_shape(self):
+        collection = timeseries_collection(12, 64, seed=10)
+        assert collection.shape == (12, 64)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            timeseries_collection(6, 32, seed=11), timeseries_collection(6, 32, seed=11)
+        )
+
+    def test_family_structure(self):
+        """Members of the same family correlate more than across families."""
+        collection = timeseries_collection(60, 128, families=3, seed=12)
+        correlations = np.corrcoef(collection)
+        upper = correlations[np.triu_indices(60, k=1)]
+        # With shape families present, the correlation distribution is
+        # strongly bimodal: some pairs near 1, others far lower.
+        assert upper.max() > 0.9
+        assert upper.min() < 0.5

@@ -1,0 +1,110 @@
+"""Tests for dynamic wavelet histograms (repro.wavelets.dynamic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wavelets import haar_transform
+from repro.wavelets.dynamic import DynamicWaveletHistogram
+
+
+class TestDynamicWaveletHistogram:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            DynamicWaveletHistogram(0)
+        dynamic = DynamicWaveletHistogram(8)
+        with pytest.raises(ValueError):
+            dynamic.insert(8)
+        with pytest.raises(ValueError):
+            dynamic.insert(-1)
+        with pytest.raises(ValueError):
+            dynamic.delete(3)  # nothing inserted yet
+        with pytest.raises(ValueError):
+            dynamic.synopsis(0)
+
+    def test_padding(self):
+        assert DynamicWaveletHistogram(5).padded_length == 8
+        assert DynamicWaveletHistogram(8).padded_length == 8
+
+    def test_frequencies_track_inserts(self):
+        dynamic = DynamicWaveletHistogram(6)
+        dynamic.extend([0, 2, 2, 5])
+        assert np.allclose(dynamic.frequencies(), [1, 0, 2, 0, 0, 1], atol=1e-9)
+        assert len(dynamic) == 4
+
+    def test_delete_inverts_insert(self):
+        dynamic = DynamicWaveletHistogram(16)
+        dynamic.extend([3, 3, 9, 14])
+        dynamic.delete(3)
+        assert np.allclose(
+            dynamic.frequencies(), np.bincount([3, 9, 14], minlength=16), atol=1e-9
+        )
+        assert len(dynamic) == 3
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=120))
+    @settings(max_examples=40)
+    def test_coefficients_match_batch_transform(self, values):
+        """Incremental maintenance equals transforming the final vector."""
+        dynamic = DynamicWaveletHistogram(16)
+        dynamic.extend(values)
+        frequencies = np.bincount(values, minlength=16).astype(np.float64)
+        assert np.allclose(
+            dynamic._coefficients, haar_transform(frequencies), atol=1e-8
+        )
+
+    @given(
+        st.lists(st.integers(0, 15), min_size=2, max_size=60),
+        st.data(),
+    )
+    @settings(max_examples=30)
+    def test_insert_delete_interleaved(self, values, data):
+        dynamic = DynamicWaveletHistogram(16)
+        alive: list[int] = []
+        for value in values:
+            if alive and data.draw(st.booleans()):
+                victim = alive.pop(data.draw(st.integers(0, len(alive) - 1)))
+                dynamic.delete(victim)
+            else:
+                dynamic.insert(value)
+                alive.append(value)
+        expected = np.bincount(alive, minlength=16).astype(np.float64)
+        assert np.allclose(dynamic.frequencies(), expected, atol=1e-8)
+
+    def test_full_budget_synopsis_is_exact(self):
+        dynamic = DynamicWaveletHistogram(10)
+        dynamic.extend([1, 1, 4, 7, 7, 7])
+        synopsis = dynamic.synopsis(16)
+        assert np.allclose(
+            synopsis.to_array(), np.bincount([1, 1, 4, 7, 7, 7], minlength=10),
+            atol=1e-8,
+        )
+
+    def test_estimate_count(self):
+        dynamic = DynamicWaveletHistogram(100)
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 100, size=2000)
+        dynamic.extend(values)
+        exact = int(np.count_nonzero((values >= 20) & (values <= 60)))
+        estimate = dynamic.estimate_count(20, 60, budget=128)
+        assert estimate == pytest.approx(exact, rel=0.01)
+        assert dynamic.estimate_count(60, 20) == 0.0
+
+    def test_budget_controls_accuracy(self):
+        dynamic = DynamicWaveletHistogram(256)
+        rng = np.random.default_rng(1)
+        dynamic.extend(rng.zipf(1.5, size=5000).clip(max=255))
+        exact = dynamic.frequencies()
+        coarse = dynamic.synopsis(4).to_array()
+        fine = dynamic.synopsis(128).to_array()
+        assert np.sum((fine - exact) ** 2) <= np.sum((coarse - exact) ** 2) + 1e-9
+
+    def test_update_cost_is_logarithmic_touch_count(self):
+        """An insert changes at most log2(n) + 1 coefficients."""
+        dynamic = DynamicWaveletHistogram(1024)
+        before = dynamic._coefficients.copy()
+        dynamic.insert(517)
+        changed = int(np.count_nonzero(dynamic._coefficients != before))
+        assert changed <= 11  # log2(1024) + 1

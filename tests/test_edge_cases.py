@@ -1,0 +1,195 @@
+"""Edge-case and robustness tests across the library.
+
+The suites in the per-module files cover functional behaviour; this file
+probes the corners: extreme values, degenerate sizes, adversarial
+shapes, and numerical stress.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AgglomerativeHistogramBuilder,
+    FixedWindowHistogramBuilder,
+    Histogram,
+    approximate_histogram,
+    minimax_histogram,
+    optimal_error,
+    optimal_histogram,
+)
+from repro.core.prefix import PrefixSums, SlidingPrefixSums
+from repro.wavelets import WaveletSynopsis
+
+
+class TestExtremeValues:
+    def test_large_magnitudes(self):
+        """Values near the paper's 'bounded range' limit stay stable."""
+        values = np.asarray([1e6, 1e6, 0.0, 0.0, 5e5, 5e5] * 4)
+        histogram = optimal_histogram(values, 6)
+        assert np.isfinite(histogram.sse(values))
+        approx = approximate_histogram(values, 6, 0.1)
+        assert approx.sse(values) <= 1.1 * optimal_error(values, 6) + 1e-3
+
+    def test_tiny_magnitudes(self):
+        values = np.asarray([1e-9, 2e-9, 3e-9, 1e-9] * 8)
+        histogram = optimal_histogram(values, 3)
+        assert histogram.sse(values) >= 0.0
+
+    def test_cancellation_never_goes_negative(self):
+        """sqsum - sum^2/n cancellation is clamped at >= 0 and stays tiny."""
+        values = np.full(1000, 12345.6789)
+        tolerance = 1e-9 * float(np.sum(values**2))
+        prefix = PrefixSums(values)
+        assert 0.0 <= prefix.sqerror(0, 999) <= tolerance
+        sliding = SlidingPrefixSums(100)
+        sliding.extend(values)
+        assert 0.0 <= sliding.sqerror(0, 99) <= tolerance
+
+    def test_alternating_adversarial_sequence(self):
+        """Maximum-entropy sequence: every method still meets its bound."""
+        values = np.tile([0.0, 1000.0], 32)
+        optimum = optimal_error(values, 4)
+        for build in (
+            lambda: approximate_histogram(values, 4, 0.5),
+            lambda: _fixed(values, 4, 0.5),
+        ):
+            assert build().sse(values) <= 1.5 * optimum + 1e-6
+
+    def test_single_outlier_isolated(self):
+        values = np.asarray([1.0] * 50 + [1e6] + [1.0] * 50)
+        histogram = optimal_histogram(values, 3)
+        outlier_bucket = [b for b in histogram.buckets if b.start <= 50 <= b.end]
+        assert outlier_bucket[0].size == 1
+
+
+def _fixed(values, buckets, epsilon):
+    builder = FixedWindowHistogramBuilder(values.size, buckets, epsilon)
+    builder.extend(values)
+    return builder.histogram()
+
+
+class TestDegenerateSizes:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    @pytest.mark.parametrize("buckets", [1, 2, 5])
+    def test_tiny_inputs_everywhere(self, n, buckets):
+        values = np.arange(float(n)) * 3.0
+        for histogram in (
+            optimal_histogram(values, buckets),
+            approximate_histogram(values, buckets, 0.5),
+            minimax_histogram(values, buckets),
+            _fixed(values, buckets, 0.5),
+        ):
+            assert len(histogram) == n
+            assert histogram.num_buckets <= min(buckets, n)
+
+    def test_window_of_one(self):
+        builder = FixedWindowHistogramBuilder(1, 3, 0.1)
+        for value in [5.0, 9.0, 2.0]:
+            builder.append(value)
+            assert builder.histogram().point_estimate(0) == value
+
+    def test_one_bucket_agglomerative_long_stream(self):
+        builder = AgglomerativeHistogramBuilder(1, 0.5)
+        builder.extend(np.arange(5000.0))
+        histogram = builder.histogram()
+        assert histogram.num_buckets == 1
+        assert histogram.buckets[0].value == pytest.approx(2499.5)
+
+
+class TestMonotoneAndConstantStreams:
+    def test_constant_stream_zero_error(self):
+        values = np.full(512, 42.0)
+        builder = FixedWindowHistogramBuilder(256, 4, 0.1)
+        builder.extend(values)
+        assert builder.error_estimate == 0.0
+        assert builder.interval_counts() == [1, 1, 1]
+
+    def test_strictly_increasing_ramp(self):
+        values = np.arange(200.0)
+        optimum = optimal_error(values, 5)
+        approx = approximate_histogram(values, 5, 0.1)
+        assert approx.sse(values) <= 1.1 * optimum + 1e-6
+        # The optimal ramp partition is (near-)equal-length buckets.
+        sizes = [b.size for b in optimal_histogram(values, 5).buckets]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_step_at_window_boundary(self):
+        """A level shift exactly at the window edge as it slides through."""
+        stream = np.concatenate([np.zeros(64), np.full(64, 100.0)])
+        builder = FixedWindowHistogramBuilder(64, 2, 0.25)
+        for index, value in enumerate(stream):
+            builder.append(value)
+            if index >= 63:
+                window = stream[index - 63 : index + 1]
+                assert builder.histogram().sse(window) <= (
+                    1.25 * optimal_error(window, 2) + 1e-6
+                )
+
+
+class TestWaveletEdges:
+    def test_length_one(self):
+        synopsis = WaveletSynopsis.from_values([7.0], 1)
+        assert synopsis.point_estimate(0) == pytest.approx(7.0)
+        assert synopsis.range_sum(0, 0) == pytest.approx(7.0)
+
+    def test_budget_larger_than_padded(self):
+        synopsis = WaveletSynopsis.from_values([1.0, 2.0, 3.0], 1000)
+        assert synopsis.budget <= 4
+        assert np.allclose(synopsis.to_array(), [1.0, 2.0, 3.0], atol=1e-9)
+
+    def test_negative_values_fine(self):
+        values = np.asarray([-5.0, 5.0, -5.0, 5.0])
+        synopsis = WaveletSynopsis.from_values(values, 4)
+        assert np.allclose(synopsis.to_array(), values, atol=1e-9)
+
+
+class TestHistogramModelEdges:
+    def test_single_position_histogram(self):
+        histogram = Histogram.from_boundaries([9.0], [])
+        assert len(histogram) == 1
+        assert histogram.range_sum(0, 0) == 9.0
+        assert histogram.range_average(0, 0) == 9.0
+
+    def test_many_tiny_buckets_bisect_path(self):
+        values = np.arange(100.0)
+        histogram = Histogram.from_boundaries(values, list(range(99)))
+        # Every point its own bucket: all queries exact.
+        assert histogram.range_sum(17, 63) == float(values[17:64].sum())
+        assert histogram.point_estimate(99) == 99.0
+
+    def test_repr(self):
+        histogram = Histogram.from_boundaries([1.0, 2.0], [0])
+        assert "2 buckets" in repr(histogram)
+        assert "2 points" in repr(histogram)
+
+
+class TestRebaseStress:
+    def test_thousands_of_rebases(self):
+        """Slide far past many rebase cycles; answers stay exact."""
+        capacity = 17
+        sliding = SlidingPrefixSums(capacity)
+        reference = []
+        rng = np.random.default_rng(99)
+        for _ in range(5000):
+            value = float(rng.integers(0, 1000))
+            sliding.append(value)
+            reference.append(value)
+        window = np.asarray(reference[-capacity:])
+        assert np.allclose(sliding.values(), window)
+        assert sliding.sum_range(0, capacity - 1) == pytest.approx(window.sum())
+        assert sliding.sqerror(3, 12) == pytest.approx(
+            PrefixSums(window).sqerror(3, 12), abs=1e-6
+        )
+
+    def test_long_fixed_window_run_stays_correct(self):
+        stream = np.random.default_rng(7).integers(0, 50, size=2000).astype(float)
+        builder = FixedWindowHistogramBuilder(31, 3, 0.5)
+        for index, value in enumerate(stream):
+            builder.append(value)
+        window = stream[-31:]
+        assert np.allclose(builder.window_values(), window)
+        assert builder.histogram().sse(window) <= (
+            1.5 * optimal_error(window, 3) + 1e-6
+        )

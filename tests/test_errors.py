@@ -1,0 +1,134 @@
+"""Tests for error metrics (repro.core.errors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import (
+    SAEMetric,
+    SSEMetric,
+    naive_sae,
+    naive_sse,
+    sse_of_partition,
+)
+
+from .conftest import float_sequences, int_sequences
+
+
+class TestNaiveMetrics:
+    def test_empty_is_zero(self):
+        assert naive_sse([]) == 0.0
+        assert naive_sae([]) == 0.0
+
+    def test_constant_is_zero(self):
+        assert naive_sse([3.0, 3.0, 3.0]) == 0.0
+        assert naive_sae([3.0, 3.0, 3.0]) == 0.0
+
+    def test_known_sse(self):
+        # values 0, 2 -> mean 1 -> SSE = 1 + 1.
+        assert naive_sse([0.0, 2.0]) == 2.0
+
+    def test_known_sae(self):
+        # values 0, 2, 10 -> median 2 -> SAE = 2 + 0 + 8.
+        assert naive_sae([0.0, 2.0, 10.0]) == 10.0
+
+    @given(float_sequences)
+    def test_sse_nonnegative(self, values):
+        assert naive_sse(values) >= 0.0
+
+    @given(float_sequences)
+    def test_mean_minimizes_sse(self, values):
+        """Any representative other than the mean does no better."""
+        best = naive_sse(values)
+        for shift in (-1.0, 0.5, 2.0):
+            candidate = float(np.sum((values - (values.mean() + shift)) ** 2))
+            assert candidate >= best - 1e-9
+
+    @given(float_sequences)
+    def test_median_minimizes_sae(self, values):
+        best = naive_sae(values)
+        for shift in (-1.0, 0.5, 2.0):
+            candidate = float(np.sum(np.abs(values - (np.median(values) + shift))))
+            assert candidate >= best - 1e-9
+
+
+class TestSSEMetric:
+    def test_bucket_error_matches_naive(self):
+        values = [1.0, 5.0, 2.0, 8.0]
+        metric = SSEMetric(values)
+        assert metric.bucket_error(1, 3) == pytest.approx(naive_sse(values[1:4]))
+
+    def test_representative_is_mean(self):
+        metric = SSEMetric([2.0, 4.0])
+        assert metric.representative(0, 1) == 3.0
+
+
+class TestSAEMetric:
+    def test_bucket_error_matches_naive(self):
+        values = [1.0, 5.0, 2.0, 8.0]
+        metric = SAEMetric(values)
+        assert metric.bucket_error(0, 3) == pytest.approx(naive_sae(values))
+
+    def test_representative_is_median(self):
+        metric = SAEMetric([1.0, 9.0, 2.0])
+        assert metric.representative(0, 2) == 2.0
+
+    def test_out_of_bounds(self):
+        metric = SAEMetric([1.0])
+        with pytest.raises(IndexError):
+            metric.bucket_error(0, 1)
+        with pytest.raises(IndexError):
+            metric.representative(1, 1)
+
+
+class TestSSEOfPartition:
+    def test_no_splits_is_whole_sse(self):
+        values = [1.0, 2.0, 9.0]
+        assert sse_of_partition(values, []) == pytest.approx(naive_sse(values))
+
+    def test_full_split_is_zero(self):
+        values = [1.0, 2.0, 9.0]
+        assert sse_of_partition(values, [0, 1]) == 0.0
+
+    def test_rejects_bad_splits(self):
+        with pytest.raises(ValueError):
+            sse_of_partition([1.0, 2.0], [1])  # split at last index invalid
+        with pytest.raises(ValueError):
+            sse_of_partition([1.0, 2.0, 3.0], [1, 0])  # not increasing
+        with pytest.raises(ValueError):
+            sse_of_partition([1.0, 2.0, 3.0], [0, 0])  # duplicate
+
+    @given(int_sequences, st.data())
+    def test_additivity(self, values, data):
+        """Partition SSE equals the sum of per-bucket naive SSEs."""
+        n = values.size
+        if n < 2:
+            splits = []
+        else:
+            splits = sorted(
+                data.draw(
+                    st.sets(st.integers(0, n - 2), max_size=min(4, n - 1))
+                )
+            )
+        total = sse_of_partition(values, splits)
+        expected = 0.0
+        start = 0
+        for split in splits + [n - 1]:
+            expected += naive_sse(values[start : split + 1])
+            start = split + 1
+        assert total == pytest.approx(expected, abs=1e-9)
+
+    @given(int_sequences, st.data())
+    def test_refinement_never_increases_error(self, values, data):
+        """Adding a split can only reduce total SSE."""
+        n = values.size
+        if n < 3:
+            return
+        split_set = data.draw(st.sets(st.integers(0, n - 2), min_size=1, max_size=4))
+        splits = sorted(split_set)
+        coarse = sse_of_partition(values, splits[:-1])
+        fine = sse_of_partition(values, splits)
+        assert fine <= coarse + 1e-9

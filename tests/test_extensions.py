@@ -1,0 +1,180 @@
+"""Tests for the extension features: agglomerative snapshots, the
+workload-weighted metric, and time-based windows."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AgglomerativeHistogramBuilder, WeightedSSEMetric, optimal_histogram
+from repro.core.errors import SSEMetric
+from repro.core.intervals import Certificate, StreamingIntervalQueue
+from repro.core.optimal import brute_force_histogram, optimal_error
+from repro.streams import TimeWindowHistogram
+
+from .conftest import int_sequences
+
+
+class TestAgglomerativeSnapshot:
+    def test_round_trip_json(self):
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 100, size=300).astype(float)
+        builder = AgglomerativeHistogramBuilder(5, 0.25)
+        builder.extend(stream)
+        payload = json.loads(json.dumps(builder.to_state()))
+        restored = AgglomerativeHistogramBuilder.from_state(payload)
+        assert restored.histogram() == builder.histogram()
+        assert len(restored) == len(builder)
+        assert restored.queue_sizes() == builder.queue_sizes()
+
+    def test_resume_continues_identically(self):
+        rng = np.random.default_rng(1)
+        stream = rng.integers(0, 60, size=400).astype(float)
+        builder = AgglomerativeHistogramBuilder(4, 0.2)
+        builder.extend(stream[:200])
+        restored = AgglomerativeHistogramBuilder.from_state(builder.to_state())
+        for value in stream[200:]:
+            builder.append(value)
+            restored.append(value)
+        assert restored.histogram() == builder.histogram()
+        assert restored.error_estimate == builder.error_estimate
+
+    def test_snapshot_before_any_point(self):
+        builder = AgglomerativeHistogramBuilder(3, 0.5)
+        restored = AgglomerativeHistogramBuilder.from_state(builder.to_state())
+        restored.append(7.0)
+        assert restored.histogram().point_estimate(0) == 7.0
+
+    def test_inconsistent_state_rejected(self):
+        builder = AgglomerativeHistogramBuilder(3, 0.5)
+        builder.append(1.0)
+        state = builder.to_state()
+        state["queues"] = state["queues"][:-1]
+        with pytest.raises(ValueError):
+            AgglomerativeHistogramBuilder.from_state(state)
+
+    def test_queue_state_validation(self):
+        queue = StreamingIntervalQueue(0.1)
+        queue.observe(0, 0.0, 1.0, 1.0, Certificate.single_bucket(0, 1.0, 0.0))
+        state = queue.to_state()
+        state["ends"] = state["ends"] + [5]
+        with pytest.raises(ValueError):
+            StreamingIntervalQueue.from_state(state)
+
+
+class TestWeightedSSEMetric:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            WeightedSSEMetric([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            WeightedSSEMetric([1.0, 2.0], [1.0, 0.0])
+        metric = WeightedSSEMetric([1.0, 2.0], [1.0, 1.0])
+        with pytest.raises(IndexError):
+            metric.bucket_error(0, 2)
+
+    def test_uniform_weights_reduce_to_sse(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 40, size=30).astype(float)
+        weighted = WeightedSSEMetric(values, np.ones(30))
+        plain = SSEMetric(values)
+        for i, j in [(0, 29), (3, 10), (15, 15)]:
+            assert weighted.bucket_error(i, j) == pytest.approx(
+                plain.bucket_error(i, j), abs=1e-9
+            )
+            assert weighted.representative(i, j) == pytest.approx(
+                plain.representative(i, j)
+            )
+
+    def test_representative_is_weighted_mean(self):
+        metric = WeightedSSEMetric([0.0, 10.0], [1.0, 3.0])
+        assert metric.representative(0, 1) == pytest.approx(7.5)
+
+    def test_heavy_weights_pull_boundaries(self):
+        """A hot region gets finer buckets under the weighted objective."""
+        values = np.asarray([0.0, 1.0, 0.0, 1.0, 100.0, 200.0, 100.0, 200.0])
+        # Uniform weights: the high-variance right half grabs the splits.
+        uniform = optimal_histogram(values, 3)
+        # Massive weight on the left half flips the priority.
+        weights = np.asarray([100.0] * 4 + [0.001] * 4)
+        weighted_metric = WeightedSSEMetric(values, weights)
+        weighted = optimal_histogram(values, 3, metric=weighted_metric)
+        left_splits_uniform = sum(1 for s in uniform.boundaries() if s < 4)
+        left_splits_weighted = sum(1 for s in weighted.boundaries() if s < 4)
+        assert left_splits_weighted > left_splits_uniform
+
+    @given(int_sequences, st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_dp_matches_brute_force(self, values, buckets):
+        rng = np.random.default_rng(3)
+        weights = rng.uniform(0.5, 2.0, size=values.size)
+        metric = WeightedSSEMetric(values, weights)
+        _, expected = brute_force_histogram(values, buckets, metric=metric)
+        assert optimal_error(values, buckets, metric=metric) == pytest.approx(
+            expected, rel=1e-9, abs=1e-6
+        )
+
+
+class TestTimeWindowHistogram:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            TimeWindowHistogram(0.0, 4)
+        with pytest.raises(ValueError):
+            TimeWindowHistogram(10.0, 0)
+        with pytest.raises(ValueError):
+            TimeWindowHistogram(10.0, 4, max_points=0)
+        window = TimeWindowHistogram(10.0, 4)
+        with pytest.raises(ValueError):
+            window.histogram()
+
+    def test_timestamps_must_not_decrease(self):
+        window = TimeWindowHistogram(10.0, 4)
+        window.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            window.append(4.0, 2.0)
+        with pytest.raises(ValueError):
+            window.advance(3.0)
+
+    def test_eviction_by_age(self):
+        window = TimeWindowHistogram(10.0, 4)
+        for stamp in range(20):
+            window.append(float(stamp), float(stamp))
+        # Points with timestamp <= 19 - 10 = 9 are gone.
+        assert list(window.window_timestamps()) == [float(t) for t in range(10, 20)]
+
+    def test_advance_evicts_without_points(self):
+        window = TimeWindowHistogram(5.0, 4)
+        window.append(0.0, 1.0)
+        window.append(1.0, 2.0)
+        window.advance(10.0)
+        assert len(window) == 0
+
+    def test_max_points_cap(self):
+        window = TimeWindowHistogram(1000.0, 4, max_points=5)
+        for stamp in range(10):
+            window.append(float(stamp), float(stamp))
+        assert len(window) == 5
+
+    def test_histogram_guarantee_on_irregular_arrivals(self):
+        rng = np.random.default_rng(4)
+        window = TimeWindowHistogram(50.0, 4, epsilon=0.25)
+        now = 0.0
+        for _ in range(300):
+            now += float(rng.exponential(1.0))
+            window.append(now, float(rng.integers(0, 100)))
+        values = window.window_values()
+        histogram = window.histogram()
+        assert len(histogram) == values.size
+        assert histogram.sse(values) <= 1.25 * optimal_error(values, 4) + 1e-6
+
+    def test_histogram_cache_invalidates(self):
+        window = TimeWindowHistogram(100.0, 2)
+        window.append(0.0, 1.0)
+        first = window.histogram()
+        window.append(1.0, 50.0)
+        second = window.histogram()
+        assert len(second) == 2
+        assert first != second

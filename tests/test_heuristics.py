@@ -1,0 +1,110 @@
+"""Tests for classic heuristic histograms (repro.heuristics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimal import optimal_error
+from repro.heuristics import (
+    equal_depth_histogram,
+    equal_width_histogram,
+    maxdiff_histogram,
+)
+
+from .conftest import int_sequences
+
+
+ALL_HEURISTICS = [equal_width_histogram, equal_depth_histogram, maxdiff_histogram]
+
+
+class TestEqualWidth:
+    def test_even_split(self):
+        histogram = equal_width_histogram(np.arange(12.0), 3)
+        assert histogram.boundaries() == [3, 7]
+        assert all(bucket.size == 4 for bucket in histogram.buckets)
+
+    def test_single_bucket(self):
+        histogram = equal_width_histogram([1.0, 2.0], 1)
+        assert histogram.num_buckets == 1
+
+    def test_more_buckets_than_points(self):
+        histogram = equal_width_histogram([1.0, 2.0], 10)
+        assert histogram.num_buckets == 2
+        assert histogram.sse([1.0, 2.0]) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            equal_width_histogram([], 3)
+        with pytest.raises(ValueError):
+            equal_width_histogram([1.0], 0)
+
+
+class TestEqualDepth:
+    def test_mass_balanced(self):
+        # All mass at the front: the first bucket closes at the first
+        # position whose cumulative mass reaches half the total.
+        values = [100.0, 100.0] + [1.0] * 10
+        histogram = equal_depth_histogram(values, 2)
+        assert histogram.boundaries() == [1]
+        front_mass = sum(values[:2])
+        assert front_mass >= sum(values) / 2
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            equal_depth_histogram([1.0, -2.0], 2)
+
+    def test_zero_mass_falls_back_to_equal_width(self):
+        values = [0.0] * 8
+        histogram = equal_depth_histogram(values, 2)
+        assert histogram.num_buckets == 2
+
+    def test_uniform_values_near_equal_lengths(self):
+        histogram = equal_depth_histogram([1.0] * 12, 3)
+        sizes = [bucket.size for bucket in histogram.buckets]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestMaxDiff:
+    def test_splits_at_largest_jumps(self):
+        values = [1.0, 1.0, 9.0, 9.0, 2.0, 2.0]
+        histogram = maxdiff_histogram(values, 3)
+        assert histogram.boundaries() == [1, 3]
+        assert histogram.sse(values) == 0.0
+
+    def test_single_point(self):
+        histogram = maxdiff_histogram([5.0], 4)
+        assert histogram.num_buckets == 1
+
+    def test_deterministic_tie_break(self):
+        values = [0.0, 1.0, 0.0, 1.0, 0.0]
+        first = maxdiff_histogram(values, 2)
+        second = maxdiff_histogram(values, 2)
+        assert first == second
+
+
+class TestSharedProperties:
+    @given(int_sequences, st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_bucket_budget_respected(self, values, buckets):
+        for build in ALL_HEURISTICS:
+            histogram = build(values, buckets)
+            assert 1 <= histogram.num_buckets <= min(buckets, values.size)
+            assert len(histogram) == values.size
+
+    @given(int_sequences, st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_never_beats_optimal(self, values, buckets):
+        """The V-optimal DP lower-bounds every heuristic (sanity anchor)."""
+        optimum = optimal_error(values, buckets)
+        for build in ALL_HEURISTICS:
+            histogram = build(values, buckets)
+            assert histogram.sse(values) >= optimum - 1e-6
+
+    def test_maxdiff_beats_equal_width_on_steps(self, step_sequence):
+        maxdiff = maxdiff_histogram(step_sequence, 3).sse(step_sequence)
+        width = equal_width_histogram(step_sequence, 3).sse(step_sequence)
+        assert maxdiff == 0.0
+        assert width > 0.0

@@ -1,0 +1,136 @@
+"""Tests for the extended construction routes: local search and sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimal import optimal_error, optimal_histogram
+from repro.heuristics import (
+    equal_width_histogram,
+    iterative_histogram,
+    refine_histogram,
+    sampled_histogram,
+)
+
+from .conftest import int_sequences
+
+
+class TestRefineHistogram:
+    def test_length_mismatch(self):
+        histogram = equal_width_histogram([1.0, 2.0, 3.0], 2)
+        with pytest.raises(ValueError):
+            refine_histogram([1.0, 2.0], histogram)
+
+    def test_negative_sweeps_rejected(self):
+        values = np.arange(8.0)
+        histogram = equal_width_histogram(values, 2)
+        with pytest.raises(ValueError):
+            refine_histogram(values, histogram, max_sweeps=-1)
+
+    def test_single_bucket_is_noop(self):
+        values = np.asarray([5.0, 1.0, 9.0])
+        histogram = equal_width_histogram(values, 1)
+        assert refine_histogram(values, histogram) == histogram
+
+    def test_already_optimal_is_fixed_point(self, step_sequence):
+        optimal = optimal_histogram(step_sequence, 3)
+        refined = refine_histogram(step_sequence, optimal)
+        assert refined.sse(step_sequence) == pytest.approx(
+            optimal.sse(step_sequence), abs=1e-9
+        )
+
+    @given(int_sequences, st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_never_increases_sse(self, values, buckets):
+        start = equal_width_histogram(values, buckets)
+        refined = refine_histogram(values, start)
+        assert refined.sse(values) <= start.sse(values) + 1e-9
+
+    @given(int_sequences, st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_never_beats_optimal(self, values, buckets):
+        refined = iterative_histogram(values, buckets)
+        assert refined.sse(values) >= optimal_error(values, buckets) - 1e-6
+
+    def test_finds_plateaus(self, step_sequence):
+        refined = iterative_histogram(step_sequence, 3)
+        assert refined.sse(step_sequence) == pytest.approx(0.0, abs=1e-9)
+
+    def test_close_to_optimal_on_real_data(self, utilization_1k):
+        values = utilization_1k[:512]
+        refined = iterative_histogram(values, 12)
+        assert refined.sse(values) <= 1.5 * optimal_error(values, 12) + 1e-6
+
+
+class TestSampledHistogram:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            sampled_histogram([], 2)
+        with pytest.raises(ValueError):
+            sampled_histogram([1.0], 0)
+        with pytest.raises(ValueError):
+            sampled_histogram([1.0], 2, sample_size=0)
+
+    def test_full_sample_is_optimal(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 40, size=50).astype(float)
+        sampled = sampled_histogram(values, 4, sample_size=50)
+        assert sampled.sse(values) == pytest.approx(
+            optimal_error(values, 4), abs=1e-6
+        )
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 40, size=300).astype(float)
+        first = sampled_histogram(values, 6, sample_size=64, seed=9)
+        second = sampled_histogram(values, 6, sample_size=64, seed=9)
+        assert first == second
+
+    def test_budget_respected(self, utilization_1k):
+        histogram = sampled_histogram(utilization_1k, 8, sample_size=128)
+        assert histogram.num_buckets <= 8
+        assert len(histogram) == utilization_1k.size
+
+    @given(int_sequences, st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_never_beats_optimal(self, values, buckets):
+        histogram = sampled_histogram(values, buckets, sample_size=16, seed=2)
+        assert histogram.sse(values) >= optimal_error(values, buckets) - 1e-6
+
+    def test_larger_samples_usually_help(self, utilization_1k):
+        values = utilization_1k
+        coarse = np.mean([
+            sampled_histogram(values, 12, sample_size=32, seed=s).sse(values)
+            for s in range(5)
+        ])
+        fine = np.mean([
+            sampled_histogram(values, 12, sample_size=512, seed=s).sse(values)
+            for s in range(5)
+        ])
+        assert fine <= coarse
+
+
+class TestFiniteInputValidation:
+    def test_prefix_sums_reject_nan(self):
+        from repro.core.prefix import PrefixSums, SlidingPrefixSums
+
+        with pytest.raises(ValueError):
+            PrefixSums([1.0, float("nan")])
+        with pytest.raises(ValueError):
+            PrefixSums([1.0, float("inf")])
+        sliding = SlidingPrefixSums(4)
+        with pytest.raises(ValueError):
+            sliding.append(float("nan"))
+
+    def test_builders_reject_nan(self):
+        from repro.core import AgglomerativeHistogramBuilder, FixedWindowHistogramBuilder
+
+        agglomerative = AgglomerativeHistogramBuilder(4, 0.1)
+        with pytest.raises(ValueError):
+            agglomerative.append(float("inf"))
+        fixed = FixedWindowHistogramBuilder(8, 4, 0.1)
+        with pytest.raises(ValueError):
+            fixed.append(float("nan"))

@@ -1,0 +1,137 @@
+"""Cross-module integration tests: end-to-end scenarios from the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AgglomerativeHistogramBuilder,
+    AttributeSummary,
+    FixedWindowHistogramBuilder,
+    GKQuantileSummary,
+    RangeQuery,
+    Relation,
+    SeriesIndex,
+    VOptimalReducer,
+    WaveletSynopsis,
+    approximate_histogram,
+    equal_depth_histogram,
+    measure_accuracy,
+    optimal_error,
+    optimal_histogram,
+)
+from repro.datasets import (
+    att_utilization_stream,
+    timeseries_collection,
+    warehouse_measure_column,
+)
+from repro.query import RandomRangeWorkload
+from repro.streams import take, bursty_traffic
+
+
+class TestNetworkMonitoringScenario:
+    """A router stream monitored with a fixed window (paper section 1)."""
+
+    def test_window_queries_track_truth(self):
+        stream = take(bursty_traffic(seed=21), 600)
+        window = 128
+        builder = FixedWindowHistogramBuilder(window, 8, 0.25)
+        workload = RandomRangeWorkload(window, seed=1)
+        checked = 0
+        for index, value in enumerate(stream):
+            builder.append(value)
+            if index >= window - 1 and index % 100 == 0:
+                histogram = builder.histogram()
+                truth = builder.window_values()
+                accuracy = measure_accuracy(histogram, truth, workload.sample(20))
+                # Error is bounded by the total in-window variability.
+                assert accuracy.mean_absolute_error <= float(np.ptp(truth)) * window
+                checked += 1
+        assert checked >= 4
+
+    def test_three_methods_agree_on_easy_data(self):
+        """On piecewise-constant data every method is exact."""
+        values = np.repeat([10.0, 50.0, 20.0, 90.0], 32)
+        optimal = optimal_histogram(values, 4)
+        approx = approximate_histogram(values, 4, 0.1)
+        fixed = FixedWindowHistogramBuilder(values.size, 4, 0.1)
+        fixed.extend(values)
+        assert optimal.sse(values) == pytest.approx(0.0, abs=1e-9)
+        assert approx.sse(values) == pytest.approx(0.0, abs=1e-9)
+        assert fixed.histogram().sse(values) == pytest.approx(0.0, abs=1e-9)
+        assert optimal.boundaries() == approx.boundaries() == [31, 63, 95]
+
+
+class TestOnePassOrdering:
+    def test_agglomerative_and_fixed_window_agree_on_full_buffer(self):
+        """With window == stream length both models summarize the same data
+        and must meet the same guarantee."""
+        stream = att_utilization_stream(300, seed=22)
+        buckets, epsilon = 6, 0.25
+        agglomerative = AgglomerativeHistogramBuilder(buckets, epsilon)
+        fixed = FixedWindowHistogramBuilder(stream.size, buckets, epsilon)
+        agglomerative.extend(stream)
+        fixed.extend(stream)
+        bound = (1.0 + epsilon) * optimal_error(stream, buckets) + 1e-6
+        assert agglomerative.histogram().sse(stream) <= bound
+        assert fixed.histogram().sse(stream) <= bound
+
+    def test_order_sensitivity_is_bounded(self):
+        """Histograms are order-sensitive, but the guarantee holds per order."""
+        rng = np.random.default_rng(23)
+        values = rng.integers(0, 40, size=120).astype(float)
+        shuffled = rng.permutation(values)
+        for data in (values, shuffled):
+            histogram = approximate_histogram(data, 5, 0.2)
+            assert histogram.sse(data) <= 1.2 * optimal_error(data, 5) + 1e-6
+
+
+class TestWarehousePipeline:
+    def test_end_to_end_aqp(self):
+        column = warehouse_measure_column(30000, seed=24)
+        relation = Relation({"bytes": column})
+        summary = AttributeSummary.build(
+            relation, "bytes", 32, method="approximate", epsilon=0.1
+        )
+        exact_total = relation.sum_range("bytes", 0, float(column.max()))
+        estimate_total = summary.estimate_sum(0, float(column.max()))
+        assert estimate_total == pytest.approx(exact_total, rel=0.01)
+
+    def test_streaming_equidepth_via_gk_matches_sorted(self):
+        """GK quantiles drive a streaming equi-depth cut of the distribution."""
+        column = warehouse_measure_column(20000, seed=25)
+        summary = GKQuantileSummary(0.01)
+        summary.extend(column)
+        cuts = summary.quantiles(7)
+        exact_cuts = [float(np.quantile(column, q / 8)) for q in range(1, 8)]
+        for estimated, exact in zip(cuts, exact_cuts):
+            assert abs(estimated - exact) <= 0.05 * (1 + abs(exact)) + 5.0
+
+    def test_equal_depth_on_sorted_values_balances_mass(self):
+        column = np.sort(warehouse_measure_column(5000, seed=26))
+        histogram = equal_depth_histogram(column, 8)
+        masses = [
+            column[b.start : b.end + 1].sum() for b in histogram.buckets
+        ]
+        assert max(masses) <= 2.5 * (sum(masses) / len(masses))
+
+
+class TestSimilarityPipeline:
+    def test_streaming_features_index_whole_collection(self):
+        collection = timeseries_collection(30, 64, seed=27)
+        index = SeriesIndex(VOptimalReducer(12, epsilon=0.2))
+        index.add_all(collection)
+        query = collection[4] + 0.02
+        outcome = index.knn_search(query, 3)
+        assert outcome.matches[0][0] == 4  # nearest is the perturbed original
+
+    def test_wavelet_and_histogram_summaries_comparable_interface(self):
+        """Both synopses answer the same RangeQuery objects."""
+        values = att_utilization_stream(256, seed=28)
+        histogram = optimal_histogram(values, 16)
+        synopsis = WaveletSynopsis.from_values(values, 16)
+        query = RangeQuery(10, 200)
+        exact = float(values[10:201].sum())
+        for answers in (query.answer(histogram), query.answer(synopsis)):
+            assert answers == pytest.approx(exact, rel=0.5)

@@ -1,0 +1,128 @@
+"""Tests for interval covers and certificates (repro.core.intervals)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import Certificate, StreamingIntervalQueue
+
+
+class TestCertificate:
+    def test_single_bucket(self):
+        certificate = Certificate.single_bucket(4, 10.0, 2.5)
+        assert certificate.num_buckets == 1
+        assert certificate.splits == ()
+        assert certificate.error == 2.5
+
+    def test_singletons(self):
+        certificate = Certificate.singletons([3.0, 7.0, 1.0])
+        assert certificate.num_buckets == 3
+        assert certificate.splits == (0, 1)
+        assert certificate.error == 0.0
+        histogram = certificate.to_histogram()
+        assert list(histogram.to_array()) == [3.0, 7.0, 1.0]
+
+    def test_singletons_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Certificate.singletons([])
+
+    def test_extend(self):
+        base = Certificate.single_bucket(2, 6.0, 0.0)  # [0..2], sum 6
+        extended = base.extend(5, 30.0, 4.0)  # bucket [3..5] of sum 30
+        assert extended.splits == (2,)
+        assert extended.bucket_sums == (6.0, 30.0)
+        assert extended.error == 4.0
+        assert extended.num_buckets == 2
+
+    def test_extend_rejects_non_increasing_end(self):
+        base = Certificate.single_bucket(3, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            base.extend(3, 1.0, 0.0)
+
+    def test_to_histogram_means(self):
+        certificate = Certificate(3, (1,), (4.0, 10.0), 0.0)
+        histogram = certificate.to_histogram()
+        assert histogram.buckets[0].value == 2.0  # 4 over 2 positions
+        assert histogram.buckets[1].value == 5.0  # 10 over 2 positions
+
+
+class TestStreamingIntervalQueue:
+    def _observe_sequence(self, queue, herrors):
+        """Feed a synthetic HERROR sequence with dummy sums."""
+        running = 0.0
+        for index, herror in enumerate(herrors):
+            running += 1.0
+            queue.observe(
+                index,
+                herror,
+                running,
+                running,
+                Certificate.single_bucket(index, running, herror),
+            )
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            StreamingIntervalQueue(-0.1)
+
+    def test_growth_rule_opens_intervals(self):
+        queue = StreamingIntervalQueue(0.5)
+        # herrors: 1 -> (1.5 boundary) 2 opens, 2.9 extends, 10 opens.
+        self._observe_sequence(queue, [1.0, 2.0, 2.9, 10.0])
+        assert len(queue) == 3
+        assert queue.interval_bounds() == [(0, 0), (1, 2), (3, 3)]
+
+    def test_zero_herror_run_stays_one_interval(self):
+        queue = StreamingIntervalQueue(0.5)
+        self._observe_sequence(queue, [0.0, 0.0, 0.0, 0.0])
+        assert len(queue) == 1
+        assert queue.interval_bounds() == [(0, 3)]
+
+    def test_endpoints_track_extension(self):
+        queue = StreamingIntervalQueue(1.0)
+        self._observe_sequence(queue, [1.0, 1.5, 2.0])
+        assert list(queue.endpoints()) == [2]
+
+    def test_capacity_growth(self):
+        queue = StreamingIntervalQueue(0.0)
+        # delta == 0: every strictly increasing value opens an interval.
+        self._observe_sequence(queue, [float(i) for i in range(1, 200)])
+        assert len(queue) == 199
+
+    def test_best_split_empty(self):
+        queue = StreamingIntervalQueue(0.1)
+        assert queue.best_split(5, 1.0, 1.0) is None
+
+    def test_best_split_picks_minimum(self):
+        queue = StreamingIntervalQueue(0.0)
+        values = [5.0, 1.0, 1.0, 1.0]  # stream values
+        prefix_sum = np.cumsum(values)
+        prefix_sq = np.cumsum(np.square(values))
+        # Observe endpoints 0..2 with HERROR = SSE of one bucket over prefix.
+        for index in range(3):
+            segment = np.asarray(values[: index + 1])
+            herror = float(np.sum((segment - segment.mean()) ** 2))
+            queue.observe(
+                index,
+                herror,
+                float(prefix_sum[index]),
+                float(prefix_sq[index]),
+                Certificate.single_bucket(index, float(prefix_sum[index]), herror),
+            )
+        value, slot = queue.best_split(3, float(prefix_sum[3]), float(prefix_sq[3]))
+        # Best 2-bucket split of [5,1,1,1] is after index 0: error 0.
+        assert int(queue.endpoints()[slot]) == 0
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_split_candidate_pieces(self):
+        queue = StreamingIntervalQueue(0.0)
+        queue.observe(0, 0.0, 5.0, 25.0, Certificate.single_bucket(0, 5.0, 0.0))
+        certificate, tail_sum, tail_error = queue.split_candidate(0, 2, 7.0, 27.0)
+        assert certificate.end == 0
+        assert tail_sum == 2.0  # values after index 0 sum to 7 - 5
+        assert tail_error == pytest.approx(27.0 - 25.0 - 2.0 * 2.0 / 2)
+
+    def test_split_candidate_bad_slot(self):
+        queue = StreamingIntervalQueue(0.1)
+        with pytest.raises(IndexError):
+            queue.split_candidate(0, 1, 1.0, 1.0)

@@ -1,0 +1,134 @@
+"""Tests for min-max histograms (repro.core.minimax)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SAEMetric, naive_sse
+from repro.core.minimax import (
+    greedy_threshold_partition,
+    minimax_error,
+    minimax_histogram,
+)
+from repro.core.prefix import PrefixSums
+
+tiny_sequences = st.lists(st.integers(0, 20), min_size=1, max_size=12).map(
+    lambda xs: np.asarray(xs, dtype=np.float64)
+)
+
+
+def brute_force_minimax(values, num_buckets: int) -> float:
+    """Exhaustive min-max SSE over all partitions (test oracle)."""
+    n = values.size
+    prefix = PrefixSums(values)
+    best = float("inf")
+    for used in range(1, min(num_buckets, n) + 1):
+        for splits in combinations(range(n - 1), used - 1):
+            worst = 0.0
+            start = 0
+            for split in splits + (n - 1,):
+                worst = max(worst, prefix.sqerror(start, split))
+                start = split + 1
+            best = min(best, worst)
+    return best
+
+
+class TestGreedyThresholdPartition:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            greedy_threshold_partition([], 1.0)
+        with pytest.raises(ValueError):
+            greedy_threshold_partition([1.0], -1.0)
+
+    def test_zero_threshold_splits_at_changes(self):
+        splits = greedy_threshold_partition([1.0, 1.0, 5.0, 5.0, 2.0], 0.0)
+        assert splits == [1, 3]
+
+    def test_huge_threshold_single_bucket(self):
+        assert greedy_threshold_partition([1.0, 9.0, 4.0], 1e9) == []
+
+    def test_every_bucket_respects_threshold(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 30, size=60).astype(float)
+        threshold = 40.0
+        splits = greedy_threshold_partition(values, threshold)
+        prefix = PrefixSums(values)
+        start = 0
+        for split in splits + [values.size - 1]:
+            assert prefix.sqerror(start, split) <= threshold + 1e-9
+            start = split + 1
+
+    def test_greedy_is_maximal(self):
+        """Each bucket cannot be extended by one more point."""
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 30, size=60).astype(float)
+        threshold = 25.0
+        splits = greedy_threshold_partition(values, threshold)
+        prefix = PrefixSums(values)
+        start = 0
+        for split in splits:
+            assert prefix.sqerror(start, split + 1) > threshold
+            start = split + 1
+
+
+class TestMinimaxHistogram:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            minimax_histogram([], 2)
+        with pytest.raises(ValueError):
+            minimax_histogram([1.0], 0)
+
+    def test_exact_when_enough_buckets(self, step_sequence):
+        histogram = minimax_histogram(step_sequence, 3)
+        assert histogram.sse(step_sequence) == pytest.approx(0.0, abs=1e-9)
+        assert minimax_error(step_sequence, 3) == pytest.approx(0.0, abs=1e-9)
+
+    def test_budget_respected(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 50, size=100).astype(float)
+        for buckets in (1, 4, 10):
+            histogram = minimax_histogram(values, buckets)
+            assert histogram.num_buckets <= buckets
+
+    @given(tiny_sequences, st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force(self, values, buckets):
+        measured = minimax_error(values, buckets)
+        expected = brute_force_minimax(values, buckets)
+        assert measured == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+    @given(tiny_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_non_increasing_in_buckets(self, values):
+        errors = [minimax_error(values, b) for b in range(1, 5)]
+        for coarse, fine in zip(errors, errors[1:]):
+            assert fine <= coarse + 1e-9
+
+    def test_minimax_vs_summed_objective_differ(self):
+        """Min-max spreads error evenly; V-optimal minimizes the total."""
+        from repro.core.optimal import optimal_histogram
+
+        values = np.asarray([0.0, 0.0, 0.0, 10.0, 0.0, 5.0, 5.0, 5.0, 5.0, 5.0])
+        sse_total = optimal_histogram(values, 3).sse(values)
+        prefix = PrefixSums(values)
+        minimax = minimax_histogram(values, 3)
+        worst = max(
+            prefix.sqerror(b.start, b.end) for b in minimax.buckets
+        )
+        # The min-max histogram's worst bucket never exceeds V-optimal's total.
+        assert worst <= sse_total + 1e-9
+
+    def test_custom_metric(self):
+        values = np.asarray([0.0, 0.0, 9.0, 9.0, 9.0])
+        metric = SAEMetric(values)
+        histogram = minimax_histogram(values, 2, metric=metric)
+        assert histogram.num_buckets == 2
+        assert histogram.boundaries() == [1]
+        # Representatives come from the metric (medians).
+        assert histogram.buckets[0].value == 0.0
+        assert histogram.buckets[1].value == 9.0

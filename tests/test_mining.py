@@ -1,0 +1,166 @@
+"""Tests for the stream-mining applications (repro.mining)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bucket import Histogram
+from repro.core.optimal import optimal_histogram
+from repro.datasets import timeseries_collection
+from repro.mining import (
+    HistogramChangeDetector,
+    cluster_series,
+    histogram_features,
+    histogram_l1,
+    histogram_l2,
+    merged_breakpoints,
+)
+
+from .conftest import int_sequences
+
+
+class TestHistogramDistances:
+    def test_merged_breakpoints_cover_domain(self):
+        first = Histogram.from_boundaries(np.arange(10.0), [3])
+        second = Histogram.from_boundaries(np.arange(10.0), [6])
+        segments = merged_breakpoints(first, second)
+        assert segments[0][0] == 0
+        assert segments[-1][1] == 9
+        covered = sum(end - start + 1 for start, end, _, _ in segments)
+        assert covered == 10
+
+    def test_length_mismatch_rejected(self):
+        first = Histogram.from_boundaries([1.0, 2.0], [])
+        second = Histogram.from_boundaries([1.0, 2.0, 3.0], [])
+        with pytest.raises(ValueError):
+            histogram_l2(first, second)
+
+    def test_distance_to_self_is_zero(self):
+        histogram = Histogram.from_boundaries(np.arange(16.0), [4, 9])
+        assert histogram_l2(histogram, histogram) == 0.0
+        assert histogram_l1(histogram, histogram) == 0.0
+
+    @given(int_sequences, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dense_computation(self, values, data):
+        n = values.size
+        first = optimal_histogram(values, data.draw(st.integers(1, 4)))
+        second = optimal_histogram(values[::-1].copy(), data.draw(st.integers(1, 4)))
+        dense_l2 = float(np.sqrt(np.sum((first.to_array() - second.to_array()) ** 2)))
+        dense_l1 = float(np.sum(np.abs(first.to_array() - second.to_array())))
+        assert histogram_l2(first, second) == pytest.approx(dense_l2, abs=1e-9)
+        assert histogram_l1(first, second) == pytest.approx(dense_l1, abs=1e-9)
+
+    @given(int_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, values):
+        first = optimal_histogram(values, 2)
+        second = optimal_histogram(np.roll(values, 1), 3)
+        assert histogram_l2(first, second) == pytest.approx(
+            histogram_l2(second, first)
+        )
+
+
+class TestChangeDetector:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            HistogramChangeDetector(1)
+        with pytest.raises(ValueError):
+            HistogramChangeDetector(16, sensitivity=0.0)
+        with pytest.raises(ValueError):
+            HistogramChangeDetector(16, check_every=0)
+        with pytest.raises(ValueError):
+            HistogramChangeDetector(16, lag=0)
+
+    def test_detects_abrupt_level_shift(self):
+        rng = np.random.default_rng(1)
+        change_at = 1200
+        stream = np.concatenate([
+            rng.normal(100.0, 5.0, change_at),
+            rng.normal(500.0, 5.0, 1200),
+        ]).round()
+        detector = HistogramChangeDetector(window_size=128, check_every=16)
+        events = detector.run(stream)
+        assert events, "the level shift must be detected"
+        first = events[0].position
+        # Fires once the current window starts absorbing the new regime.
+        assert change_at <= first <= change_at + 128 + 32
+
+    def test_quiet_stream_stays_quiet(self):
+        rng = np.random.default_rng(2)
+        stream = rng.normal(100.0, 5.0, 3000).round()
+        detector = HistogramChangeDetector(window_size=128, check_every=16)
+        assert detector.run(stream) == []
+
+    def test_multiple_changes(self):
+        rng = np.random.default_rng(3)
+        stream = np.concatenate([
+            rng.normal(100.0, 4.0, 1000),
+            rng.normal(400.0, 4.0, 1000),
+            rng.normal(150.0, 4.0, 1000),
+        ]).round()
+        detector = HistogramChangeDetector(window_size=128, check_every=16,
+                                           cooldown=512)
+        events = detector.run(stream)
+        positions = [event.position for event in events]
+        assert any(1000 <= p <= 1250 for p in positions)
+        assert any(2000 <= p <= 2250 for p in positions)
+
+    def test_event_fields(self):
+        rng = np.random.default_rng(4)
+        stream = np.concatenate([
+            rng.normal(50.0, 2.0, 800), rng.normal(300.0, 2.0, 400)
+        ])
+        detector = HistogramChangeDetector(window_size=64, check_every=8)
+        events = detector.run(stream)
+        assert events
+        event = events[0]
+        assert event.score > event.threshold > 0
+
+
+class TestClustering:
+    def test_validates(self):
+        collection = timeseries_collection(10, 32, seed=5)
+        with pytest.raises(ValueError):
+            cluster_series(collection, 0)
+        with pytest.raises(ValueError):
+            cluster_series(collection, 11)
+        with pytest.raises(ValueError):
+            histogram_features(np.zeros(5))
+        with pytest.raises(ValueError):
+            histogram_features(collection, grid=0)
+
+    def test_features_shape(self):
+        collection = timeseries_collection(12, 64, seed=6)
+        features = histogram_features(collection, grid=20)
+        assert features.shape == (12, 20)
+
+    def test_deterministic(self):
+        collection = timeseries_collection(20, 64, families=2, seed=7)
+        first = cluster_series(collection, 2, seed=3)
+        second = cluster_series(collection, 2, seed=3)
+        assert np.array_equal(first.labels, second.labels)
+        assert first.num_clusters == 2
+
+    def test_recovers_families(self):
+        """Histogram features separate well-separated shape families."""
+        collection, families = timeseries_collection(
+            60, 96, families=3, seed=8, return_families=True
+        )
+        result = cluster_series(collection, 3, seed=1)
+        # Purity: majority family per cluster.
+        correct = 0
+        for cluster in range(3):
+            members = families[result.labels == cluster]
+            if members.size:
+                correct += int(np.bincount(members).max())
+        assert correct / len(families) >= 0.8
+
+    def test_single_cluster(self):
+        collection = timeseries_collection(8, 32, seed=9)
+        result = cluster_series(collection, 1)
+        assert set(result.labels.tolist()) == {0}
+        assert result.inertia >= 0.0

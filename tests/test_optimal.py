@@ -1,0 +1,170 @@
+"""Tests for the optimal V-optimal DP (repro.core.optimal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SAEMetric, SSEMetric, naive_sse
+from repro.core.optimal import (
+    brute_force_histogram,
+    optimal_error,
+    optimal_error_table,
+    optimal_histogram,
+)
+
+tiny_sequences = st.lists(st.integers(0, 20), min_size=1, max_size=12).map(
+    lambda xs: np.asarray(xs, dtype=np.float64)
+)
+
+
+class TestOptimalHistogram:
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_histogram([], 2)
+        with pytest.raises(ValueError):
+            optimal_histogram([1.0], 0)
+
+    def test_single_bucket(self):
+        values = [1.0, 2.0, 9.0]
+        histogram = optimal_histogram(values, 1)
+        assert histogram.num_buckets == 1
+        assert histogram.sse(values) == pytest.approx(naive_sse(values))
+
+    def test_enough_buckets_is_exact(self):
+        values = [4.0, 1.0, 7.0]
+        histogram = optimal_histogram(values, 3)
+        assert histogram.sse(values) == 0.0
+        histogram = optimal_histogram(values, 10)  # more buckets than points
+        assert histogram.sse(values) == 0.0
+
+    def test_plateaus_found_exactly(self, step_sequence):
+        histogram = optimal_histogram(step_sequence, 3)
+        assert histogram.sse(step_sequence) == 0.0
+        assert histogram.boundaries() == [4, 8]
+
+    def test_paper_example_sequence(self):
+        """The section 4.5 example: 100,0,0,0,1,1,1,1 with B=2."""
+        values = [100.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]
+        histogram = optimal_histogram(values, 2)
+        # Optimal: isolate the outlier 100.
+        assert histogram.boundaries() == [0]
+        assert optimal_error(values, 2) == pytest.approx(
+            naive_sse(values[1:]), abs=1e-9
+        )
+
+    def test_error_matches_histogram_sse(self, utilization_1k):
+        values = utilization_1k[:200]
+        histogram = optimal_histogram(values, 6)
+        assert optimal_error(values, 6) == pytest.approx(
+            histogram.sse(values), rel=1e-9, abs=1e-6
+        )
+
+    @given(tiny_sequences, st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, values, buckets):
+        """The DP equals exhaustive search over all partitions."""
+        _, brute_error = brute_force_histogram(values, buckets)
+        assert optimal_error(values, buckets) == pytest.approx(
+            brute_error, rel=1e-9, abs=1e-6
+        )
+
+    @given(tiny_sequences, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_sse_equals_reported_error(self, values, buckets):
+        histogram = optimal_histogram(values, buckets)
+        assert histogram.sse(values) == pytest.approx(
+            optimal_error(values, buckets), rel=1e-9, abs=1e-6
+        )
+
+    @given(tiny_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_error_non_increasing_in_buckets(self, values):
+        errors = [optimal_error(values, b) for b in range(1, 6)]
+        for coarse, fine in zip(errors, errors[1:]):
+            assert fine <= coarse + 1e-9
+
+    def test_uses_at_most_b_buckets(self):
+        histogram = optimal_histogram(np.arange(20.0), 4)
+        assert histogram.num_buckets <= 4
+
+
+class TestOptimalErrorTable:
+    def test_shape(self):
+        table = optimal_error_table(np.arange(10.0), 3)
+        assert table.shape == (10, 3)
+
+    def test_first_column_is_single_bucket_sse(self):
+        values = np.asarray([1.0, 5.0, 2.0, 8.0])
+        table = optimal_error_table(values, 2)
+        for j in range(4):
+            assert table[j, 0] == pytest.approx(naive_sse(values[: j + 1]))
+
+    @given(tiny_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_herror_monotone_in_prefix_length(self, values):
+        """HERROR[i, k] is non-decreasing in i (paper section 4.2, obs. 2)."""
+        buckets = min(4, values.size)
+        table = optimal_error_table(values, buckets)
+        for k in range(buckets):
+            column = table[:, k]
+            assert np.all(np.diff(column) >= -1e-6 * (1 + column[:-1]))
+
+    @given(tiny_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_herror_monotone_in_buckets(self, values):
+        buckets = min(4, values.size)
+        table = optimal_error_table(values, buckets)
+        for j in range(values.size):
+            row = table[j, :]
+            assert np.all(np.diff(row) <= 1e-6 * (1 + row[:-1]))
+
+
+class TestMetricGenericDP:
+    @given(tiny_sequences, st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_sae_matches_brute_force(self, values, buckets):
+        """The DP is metric-agnostic: SAE optimum equals exhaustive search."""
+        metric = SAEMetric(values)
+        _, expected = brute_force_histogram(values, buckets, metric=metric)
+        assert optimal_error(values, buckets, metric=metric) == pytest.approx(
+            expected, rel=1e-9, abs=1e-6
+        )
+
+    def test_sae_representatives_are_medians(self):
+        values = np.asarray([0.0, 0.0, 100.0, 7.0, 7.0, 7.0])
+        metric = SAEMetric(values)
+        histogram = optimal_histogram(values, 2, metric=metric)
+        for bucket in histogram.buckets:
+            segment = values[bucket.start : bucket.end + 1]
+            assert bucket.value == pytest.approx(float(np.median(segment)))
+
+    def test_sse_metric_paths_agree(self):
+        """Explicit SSEMetric and the fast path compute the same optimum."""
+        from repro.core.errors import SSEMetric
+
+        rng = np.random.default_rng(17)
+        values = rng.integers(0, 40, size=30).astype(float)
+        fast = optimal_error(values, 5)
+        generic = optimal_error(values, 5, metric=SSEMetric(values))
+        assert fast == pytest.approx(generic, rel=1e-9)
+
+
+class TestBruteForce:
+    def test_respects_metric(self):
+        """Under SAE the optimal split can differ from SSE's."""
+        values = np.asarray([0.0, 0.0, 10.0, 10.0])
+        sse_histogram, sse_error = brute_force_histogram(values, 2)
+        assert sse_error == 0.0
+        sae_histogram, sae_error = brute_force_histogram(
+            values, 2, metric=SAEMetric(values)
+        )
+        assert sae_error == 0.0
+        assert sae_histogram.boundaries() == sse_histogram.boundaries() == [1]
+
+    def test_single_bucket_error(self):
+        values = np.asarray([0.0, 2.0])
+        _, error = brute_force_histogram(values, 1)
+        assert error == 2.0

@@ -1,0 +1,225 @@
+"""Tests for the query layer (repro.query)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bucket import Histogram
+from repro.query import (
+    ExactMaintainer,
+    HistogramMaintainer,
+    PointQuery,
+    RandomPointWorkload,
+    RandomRangeWorkload,
+    RangeQuery,
+    StreamQueryEngine,
+    WaveletMaintainer,
+    evaluate_exact,
+    measure_accuracy,
+)
+from repro.datasets import att_utilization_stream
+
+from .conftest import int_sequences
+
+
+class TestQueries:
+    def test_range_query_validation(self):
+        with pytest.raises(ValueError):
+            RangeQuery(3, 2)
+        with pytest.raises(ValueError):
+            RangeQuery(-1, 2)
+        with pytest.raises(ValueError):
+            RangeQuery(0, 2, aggregate="median")
+
+    def test_point_query_validation(self):
+        with pytest.raises(ValueError):
+            PointQuery(-1)
+
+    def test_exact_evaluation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert evaluate_exact(RangeQuery(1, 3), values) == 9.0
+        assert evaluate_exact(RangeQuery(1, 3, aggregate="avg"), values) == 3.0
+        assert evaluate_exact(PointQuery(2), values) == 3.0
+
+    def test_answer_against_histogram(self):
+        histogram = Histogram.from_boundaries([2.0, 2.0, 8.0, 8.0], [1])
+        assert RangeQuery(0, 3).answer(histogram) == 20.0
+        assert RangeQuery(0, 3, aggregate="avg").answer(histogram) == 5.0
+        assert PointQuery(3).answer(histogram) == 8.0
+
+    def test_span(self):
+        assert RangeQuery(2, 5).span == 4
+
+
+class TestWorkloads:
+    def test_range_workload_bounds(self):
+        workload = RandomRangeWorkload(50, seed=1)
+        for query in workload.sample(200):
+            assert 0 <= query.start <= query.end < 50
+
+    def test_range_workload_deterministic(self):
+        first = RandomRangeWorkload(50, seed=2).sample(20)
+        second = RandomRangeWorkload(50, seed=2).sample(20)
+        assert first == second
+
+    def test_range_workload_spans_vary(self):
+        spans = {q.span for q in RandomRangeWorkload(100, seed=3).sample(100)}
+        assert len(spans) > 10  # spans drawn uniformly, not constant
+
+    def test_min_span(self):
+        workload = RandomRangeWorkload(40, min_span=10, seed=4)
+        # Spans are clipped at the window edge but never below min unless clipped.
+        for query in workload.sample(100):
+            assert query.end == 39 or query.span >= 10
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            RandomRangeWorkload(0)
+        with pytest.raises(ValueError):
+            RandomRangeWorkload(10, min_span=11)
+        with pytest.raises(ValueError):
+            RandomRangeWorkload(10).sample(-1)
+
+    def test_point_workload(self):
+        workload = RandomPointWorkload(30, seed=5)
+        queries = workload.sample(50)
+        assert all(0 <= q.position < 30 for q in queries)
+        with pytest.raises(ValueError):
+            RandomPointWorkload(0)
+
+
+class TestPositionWeights:
+    def test_validates(self):
+        from repro.query import position_weights
+
+        with pytest.raises(ValueError):
+            position_weights([], 0)
+        with pytest.raises(ValueError):
+            position_weights([], 5, floor=0.0)
+
+    def test_counts_touches(self):
+        from repro.query import position_weights
+
+        queries = [RangeQuery(1, 3), RangeQuery(2, 4), PointQuery(2)]
+        weights = position_weights(queries, 6, floor=1.0)
+        assert list(weights) == [1.0, 2.0, 4.0, 3.0, 2.0, 1.0]
+
+    def test_out_of_range_queries_clipped(self):
+        from repro.query import position_weights
+
+        weights = position_weights([RangeQuery(3, 100), PointQuery(50)], 5)
+        assert weights[3] == 2.0 and weights[4] == 2.0
+        assert weights[0] == 1.0
+
+    def test_feeds_weighted_metric(self):
+        """End to end: hot workloads get better answers with weights."""
+        from repro.core import WeightedSSEMetric, optimal_histogram
+        from repro.query import position_weights
+
+        values = np.concatenate(
+            [np.tile([0.0, 1.0], 16), np.tile([100.0, 300.0], 16)]
+        )
+        hot = [RangeQuery(0, 7), RangeQuery(4, 12), RangeQuery(8, 15)] * 10
+        weights = position_weights(hot, values.size)
+        plain = optimal_histogram(values, 4)
+        aware = optimal_histogram(
+            values, 4, metric=WeightedSSEMetric(values, weights)
+        )
+        plain_error = measure_accuracy(plain, values, hot).mean_absolute_error
+        aware_error = measure_accuracy(aware, values, hot).mean_absolute_error
+        assert aware_error <= plain_error + 1e-9
+
+
+class TestAccuracy:
+    def test_requires_queries(self):
+        with pytest.raises(ValueError):
+            measure_accuracy(Histogram.from_boundaries([1.0], []), [1.0], [])
+
+    def test_exact_synopsis_zero_error(self):
+        values = np.asarray([1.0, 5.0, 2.0, 8.0])
+        histogram = Histogram.from_boundaries(values, [0, 1, 2])
+        queries = RandomRangeWorkload(4, seed=6).sample(50)
+        accuracy = measure_accuracy(histogram, values, queries)
+        assert accuracy.mean_absolute_error == 0.0
+        assert accuracy.max_absolute_error == 0.0
+        assert accuracy.root_mean_squared_error == 0.0
+        assert accuracy.count == 50
+
+    @given(int_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_coarser_synopsis_no_better_on_average(self, values):
+        """One bucket can never beat the exact per-point representation."""
+        if values.size < 4:
+            return
+        queries = RandomRangeWorkload(values.size, seed=7).sample(30)
+        coarse = Histogram.from_boundaries(values, [])
+        fine = Histogram.from_boundaries(values, list(range(values.size - 1)))
+        coarse_accuracy = measure_accuracy(coarse, values, queries)
+        fine_accuracy = measure_accuracy(fine, values, queries)
+        assert fine_accuracy.mean_absolute_error <= 1e-9
+        assert coarse_accuracy.mean_absolute_error >= 0.0
+
+    def test_str_rendering(self):
+        values = np.asarray([1.0, 2.0])
+        histogram = Histogram.from_boundaries(values, [])
+        accuracy = measure_accuracy(
+            histogram, values, RandomRangeWorkload(2, seed=8).sample(5)
+        )
+        text = str(accuracy)
+        assert "queries" in text and "avg abs" in text
+
+
+class TestEngine:
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            StreamQueryEngine(0)
+        with pytest.raises(ValueError):
+            StreamQueryEngine(10, maintain_every=0)
+
+    def test_reports_cover_all_maintainers(self):
+        stream = att_utilization_stream(300, seed=1)
+        engine = StreamQueryEngine(
+            window_size=64, maintain_every=32, evaluate_every=64,
+            queries_per_evaluation=8,
+        )
+        maintainers = [
+            ExactMaintainer(64),
+            HistogramMaintainer(64, 4, 0.5),
+            WaveletMaintainer(64, 4),
+        ]
+        reports = engine.run(stream, maintainers)
+        assert [r.name for r in reports] == [m.name for m in maintainers]
+        for report in reports:
+            assert report.evaluations
+            assert report.maintenance_seconds >= 0.0
+
+    def test_exact_maintainer_is_exact(self):
+        stream = att_utilization_stream(200, seed=2)
+        engine = StreamQueryEngine(window_size=50, evaluate_every=50,
+                                   queries_per_evaluation=10)
+        (report,) = engine.run(stream, [ExactMaintainer(50)])
+        assert report.mean_absolute_error == 0.0
+        assert report.mean_relative_error == 0.0
+
+    def test_histogram_beats_wavelet_at_equal_space(self):
+        """The paper's headline accuracy result, at test scale."""
+        stream = att_utilization_stream(700, seed=3)
+        engine = StreamQueryEngine(window_size=128, maintain_every=128,
+                                   evaluate_every=64, queries_per_evaluation=16)
+        histogram, wavelet = engine.run(
+            stream,
+            [HistogramMaintainer(128, 8, 0.2), WaveletMaintainer(128, 8)],
+        )
+        assert histogram.mean_absolute_error < wavelet.mean_absolute_error
+
+    def test_no_evaluation_before_window_full(self):
+        stream = att_utilization_stream(40, seed=4)
+        engine = StreamQueryEngine(window_size=64, evaluate_every=8,
+                                   queries_per_evaluation=4)
+        (report,) = engine.run(stream, [ExactMaintainer(64)])
+        assert report.evaluations == []
+        with pytest.raises(ValueError):
+            _ = report.mean_absolute_error

@@ -1,0 +1,71 @@
+"""Round-trip tests for synopsis serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bucket import Histogram
+from repro.core.optimal import optimal_histogram
+from repro.wavelets import WaveletSynopsis
+
+from .conftest import int_sequences
+
+
+class TestHistogramSerialization:
+    @given(int_sequences, st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, values, buckets):
+        histogram = optimal_histogram(values, buckets)
+        restored = Histogram.from_dict(histogram.to_dict())
+        assert restored == histogram
+
+    def test_json_compatible(self):
+        histogram = optimal_histogram([1.0, 1.0, 9.0, 9.0], 2)
+        payload = json.loads(json.dumps(histogram.to_dict()))
+        assert Histogram.from_dict(payload) == histogram
+
+    def test_rejects_inconsistent_payload(self):
+        histogram = optimal_histogram([1.0, 2.0, 3.0], 2)
+        payload = histogram.to_dict()
+        payload["length"] = 99
+        with pytest.raises(ValueError):
+            Histogram.from_dict(payload)
+        bad = {"length": 2, "ends": [1], "values": [1.0, 2.0]}
+        with pytest.raises(ValueError):
+            Histogram.from_dict(bad)
+
+    def test_queries_survive_round_trip(self):
+        values = np.arange(32.0)
+        histogram = optimal_histogram(values, 4)
+        restored = Histogram.from_dict(histogram.to_dict())
+        assert restored.range_sum(3, 20) == histogram.range_sum(3, 20)
+        assert restored.point_estimate(17) == histogram.point_estimate(17)
+
+
+class TestWaveletSerialization:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100)
+        synopsis = WaveletSynopsis.from_values(values, 12)
+        restored = WaveletSynopsis.from_dict(synopsis.to_dict())
+        assert restored.coefficients == synopsis.coefficients
+        assert len(restored) == len(synopsis)
+        assert np.allclose(restored.to_array(), synopsis.to_array())
+
+    def test_json_compatible(self):
+        synopsis = WaveletSynopsis.from_values(np.arange(16.0), 4)
+        payload = json.loads(json.dumps(synopsis.to_dict()))
+        restored = WaveletSynopsis.from_dict(payload)
+        assert restored.range_sum(2, 9) == pytest.approx(synopsis.range_sum(2, 9))
+
+    def test_rejects_mismatched_payload(self):
+        synopsis = WaveletSynopsis.from_values(np.arange(16.0), 4)
+        payload = synopsis.to_dict()
+        payload["values"] = payload["values"][:-1]
+        with pytest.raises(ValueError):
+            WaveletSynopsis.from_dict(payload)

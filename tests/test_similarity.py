@@ -1,0 +1,324 @@
+"""Tests for the similarity-search subsystem (repro.similarity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import timeseries_collection
+from repro.similarity import (
+    APCAReducer,
+    PAAReducer,
+    SeriesIndex,
+    SubsequenceIndex,
+    VOptimalReducer,
+    apca,
+    euclidean,
+    lower_bound_distance,
+    project_onto,
+)
+
+series_pairs = st.integers(8, 48).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(-20, 20, allow_nan=False, allow_infinity=False),
+                 min_size=n, max_size=n),
+        st.lists(st.floats(-20, 20, allow_nan=False, allow_infinity=False),
+                 min_size=n, max_size=n),
+        st.integers(1, 6),
+    )
+)
+
+
+class TestAPCA:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            apca([], 2)
+        with pytest.raises(ValueError):
+            apca([1.0, 2.0], 0)
+
+    def test_budget_respected(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=64).cumsum()
+        for segments in (1, 3, 8):
+            histogram = apca(values, segments)
+            assert histogram.num_buckets <= segments
+            assert len(histogram) == 64
+
+    def test_generous_budget_exact(self):
+        values = np.asarray([1.0, 5.0, 2.0])
+        histogram = apca(values, 10)
+        assert histogram.sse(values) == 0.0
+
+    def test_vopt_beats_apca_on_non_dyadic_plateaus(self, step_sequence):
+        """APCA's Haar seeding cannot always place non-dyadic boundaries --
+        the exact regime where the paper's V-optimal features win."""
+        from repro.core.optimal import optimal_histogram
+
+        apca_error = apca(step_sequence, 3).sse(step_sequence)
+        vopt_error = optimal_histogram(step_sequence, 3).sse(step_sequence)
+        assert vopt_error == pytest.approx(0.0, abs=1e-9)
+        assert apca_error >= vopt_error
+
+    def test_segments_use_exact_means(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=32)
+        histogram = apca(values, 4)
+        for bucket in histogram.buckets:
+            assert bucket.value == pytest.approx(
+                values[bucket.start : bucket.end + 1].mean(), abs=1e-9
+            )
+
+    def test_error_decreases_with_budget(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=128).cumsum()
+        errors = [apca(values, m).sse(values) for m in (2, 4, 8, 16)]
+        for coarse, fine in zip(errors, errors[1:]):
+            assert fine <= coarse + 1e-9
+
+
+class TestDistances:
+    def test_euclidean_basic(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == 5.0
+        with pytest.raises(ValueError):
+            euclidean([1.0], [1.0, 2.0])
+
+    def test_project_onto(self):
+        from repro.core.bucket import Histogram
+
+        representation = Histogram.from_boundaries([0.0, 0.0, 4.0, 4.0], [1])
+        means = project_onto([2.0, 4.0, 6.0, 8.0], representation)
+        assert list(means) == [3.0, 7.0]
+        with pytest.raises(ValueError):
+            project_onto([1.0, 2.0], representation)
+
+    def test_lower_bound_zero_for_identical(self):
+        values = np.asarray([1.0, 1.0, 5.0, 5.0])
+        from repro.core.bucket import Histogram
+
+        representation = Histogram.from_boundaries(values, [1])
+        assert lower_bound_distance(values, representation) == pytest.approx(0.0)
+
+    @given(series_pairs, st.sampled_from(["vopt", "apca", "paa"]))
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bound_never_exceeds_true_distance(self, pair, method):
+        """No false dismissals: LB(Q, repr(C)) <= ED(Q, C)."""
+        query_list, candidate_list, budget = pair
+        query = np.asarray(query_list)
+        candidate = np.asarray(candidate_list)
+        reducer = {
+            "vopt": VOptimalReducer(2 * budget),
+            "apca": APCAReducer(2 * budget),
+            "paa": PAAReducer(budget),
+        }[method]
+        representation = reducer.reduce(candidate)
+        bound = lower_bound_distance(query, representation)
+        assert bound <= euclidean(query, candidate) + 1e-6
+
+
+class TestReducers:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            VOptimalReducer(1)
+        with pytest.raises(ValueError):
+            APCAReducer(0)
+        with pytest.raises(ValueError):
+            PAAReducer(0)
+
+    def test_adaptive_budget_halved(self):
+        assert VOptimalReducer(16).segments == 8
+        assert APCAReducer(17).segments == 8
+        assert PAAReducer(16).segments == 16
+
+    def test_vopt_with_epsilon(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 50, size=40).astype(float)
+        exact = VOptimalReducer(8).reduce(values)
+        approx = VOptimalReducer(8, epsilon=0.1).reduce(values)
+        assert approx.sse(values) <= 1.1 * exact.sse(values) + 1e-6
+
+
+class TestSeriesIndex:
+    @pytest.fixture
+    def collection(self) -> np.ndarray:
+        return timeseries_collection(40, 64, seed=9)
+
+    def test_add_validates_shapes(self, collection):
+        index = SeriesIndex(PAAReducer(8))
+        index.add(collection[0])
+        with pytest.raises(ValueError):
+            index.add(collection[0][:32])
+        with pytest.raises(ValueError):
+            index.add(np.zeros((2, 2)))
+
+    def test_len_and_representation(self, collection):
+        index = SeriesIndex(VOptimalReducer(8))
+        index.add_all(collection)
+        assert len(index) == 40
+        assert index.representation(0).num_buckets <= 4
+
+    @pytest.mark.parametrize(
+        "reducer",
+        [VOptimalReducer(12), VOptimalReducer(12, epsilon=0.2),
+         APCAReducer(12), PAAReducer(12)],
+    )
+    def test_range_search_exact_answers(self, collection, reducer):
+        """Filter-and-refine returns exactly the brute-force answer set."""
+        index = SeriesIndex(reducer)
+        index.add_all(collection)
+        query = collection[3] + 0.01
+        radius = float(np.median([euclidean(query, s) for s in collection])) * 0.5
+        outcome = index.range_search(query, radius)
+        expected = sorted(
+            i for i, s in enumerate(collection) if euclidean(query, s) <= radius
+        )
+        assert sorted(i for i, _ in outcome.matches) == expected
+        assert outcome.false_positives == outcome.candidates_verified - len(expected)
+        assert outcome.pruned + outcome.candidates_verified == len(collection)
+
+    def test_knn_search_exact(self, collection):
+        index = SeriesIndex(VOptimalReducer(12))
+        index.add_all(collection)
+        query = collection[7] + 0.05
+        outcome = index.knn_search(query, 5)
+        truth = sorted(
+            ((euclidean(query, s), i) for i, s in enumerate(collection))
+        )[:5]
+        assert [d for _, d in outcome.matches] == pytest.approx(
+            [d for d, _ in truth]
+        )
+        assert outcome.candidates_verified >= 5
+
+    def test_knn_validation(self, collection):
+        index = SeriesIndex(PAAReducer(4))
+        index.add_all(collection)
+        with pytest.raises(ValueError):
+            index.knn_search(collection[0], 0)
+        with pytest.raises(ValueError):
+            index.knn_search(collection[0], 41)
+
+    def test_range_search_validation(self, collection):
+        index = SeriesIndex(PAAReducer(4))
+        index.add_all(collection)
+        with pytest.raises(ValueError):
+            index.range_search(collection[0], -1.0)
+
+    def test_precision_property(self, collection):
+        index = SeriesIndex(VOptimalReducer(12))
+        index.add_all(collection)
+        outcome = index.knn_search(collection[0], 3)
+        assert 0.0 < outcome.precision <= 1.0
+
+
+class TestZNormalization:
+    def test_znormalize_properties(self):
+        from repro.similarity import znormalize
+
+        rng = np.random.default_rng(20)
+        series = rng.normal(5.0, 3.0, 64)
+        normalized = znormalize(series)
+        assert normalized.mean() == pytest.approx(0.0, abs=1e-9)
+        assert normalized.std() == pytest.approx(1.0, abs=1e-9)
+        assert np.allclose(znormalize([7.0, 7.0, 7.0]), 0.0)
+
+    def test_normalized_index_is_offset_and_scale_invariant(self):
+        collection = timeseries_collection(30, 64, seed=21)
+        index = SeriesIndex(VOptimalReducer(12), normalize=True)
+        index.add_all(collection)
+        base = collection[5]
+        shifted = 3.0 * base + 100.0  # same shape, different offset/scale
+        outcome = index.knn_search(shifted, 1)
+        assert outcome.matches[0][0] == 5
+        assert outcome.matches[0][1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_unnormalized_index_is_not_invariant(self):
+        collection = timeseries_collection(30, 64, seed=21)
+        index = SeriesIndex(VOptimalReducer(12), normalize=False)
+        index.add_all(collection)
+        shifted = 3.0 * collection[5] + 100.0
+        outcome = index.knn_search(shifted, 1)
+        assert outcome.matches[0][1] > 1.0  # raw distance is large
+
+    def test_normalized_search_still_exact(self):
+        from repro.similarity import znormalize
+
+        collection = timeseries_collection(25, 64, seed=22)
+        index = SeriesIndex(APCAReducer(12), normalize=True)
+        index.add_all(collection)
+        query = collection[2] + 0.01
+        outcome = index.knn_search(query, 4)
+        normalized_query = znormalize(query)
+        truth = sorted(
+            (euclidean(normalized_query, znormalize(s)), i)
+            for i, s in enumerate(collection)
+        )[:4]
+        assert [d for _, d in outcome.matches] == pytest.approx(
+            [d for d, _ in truth]
+        )
+
+
+class TestSubsequenceIndex:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            SubsequenceIndex(np.arange(10.0), 11, PAAReducer(4))
+        with pytest.raises(ValueError):
+            SubsequenceIndex(np.arange(10.0), 4, PAAReducer(4), stride=0)
+
+    def test_offsets_with_stride(self):
+        index = SubsequenceIndex(np.arange(20.0), 8, PAAReducer(4), stride=4)
+        assert len(index) == 4  # offsets 0, 4, 8, 12
+
+    def test_range_search_exact(self):
+        rng = np.random.default_rng(10)
+        stream = rng.normal(size=300).cumsum()
+        index = SubsequenceIndex(stream, 50, VOptimalReducer(10), stride=5)
+        pattern = stream[100:150] + rng.normal(0, 0.05, 50)
+        radius = 2.0
+        outcome = index.range_search(pattern, radius)
+        expected = [
+            offset
+            for offset in range(0, 251, 5)
+            if euclidean(pattern, stream[offset : offset + 50]) <= radius
+        ]
+        assert [m.offset for m in outcome.matches] and sorted(
+            m.offset for m in outcome.matches
+        ) == expected
+
+    def test_pattern_length_checked(self):
+        index = SubsequenceIndex(np.arange(20.0), 8, PAAReducer(4))
+        with pytest.raises(ValueError):
+            index.range_search(np.arange(9.0), 1.0)
+        with pytest.raises(ValueError):
+            index.range_search(np.arange(8.0), -1.0)
+
+    def test_normalized_subsequence_matching(self):
+        """A scaled+shifted copy of a window is found only when normalizing."""
+        rng = np.random.default_rng(13)
+        stream = rng.normal(size=200).cumsum()
+        index_raw = SubsequenceIndex(stream, 40, PAAReducer(8), stride=10)
+        index_norm = SubsequenceIndex(
+            stream, 40, PAAReducer(8), stride=10, normalize=True
+        )
+        pattern = 5.0 * stream[50:90] + 40.0  # same shape, new offset/scale
+        raw = index_raw.range_search(pattern, 1.0)
+        normalized = index_norm.range_search(pattern, 1.0)
+        assert not raw.matches
+        assert any(match.offset == 50 for match in normalized.matches)
+
+    def test_stream_builder_matches_offline_windows(self):
+        """The streaming construction indexes every stride-aligned window."""
+        rng = np.random.default_rng(11)
+        stream = rng.integers(0, 50, size=200).astype(float)
+        index = SubsequenceIndex.from_stream_builder(
+            stream, 32, num_buckets=4, epsilon=0.2, stride=8
+        )
+        assert len(index) == len(range(0, 169, 8))
+        # Each stored representation approximates its window within (1+eps).
+        from repro.core.optimal import optimal_error
+
+        for slot in range(0, len(index), 5):
+            offset = slot * 8
+            window = stream[offset : offset + 32]
+            representation = index._representations[slot]
+            assert representation.sse(window) <= 1.2 * optimal_error(window, 4) + 1e-6

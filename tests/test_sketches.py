@@ -1,0 +1,208 @@
+"""Tests for sketch substrates (repro.sketches)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import GKQuantileSummary, ReservoirSample
+
+
+class TestGKQuantileSummary:
+    def test_validates_epsilon(self):
+        for epsilon in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                GKQuantileSummary(epsilon)
+
+    def test_query_before_insert(self):
+        summary = GKQuantileSummary(0.1)
+        with pytest.raises(ValueError):
+            summary.query(0.5)
+        with pytest.raises(ValueError):
+            summary.rank_bounds(1.0)
+
+    def test_query_validates_fraction(self):
+        summary = GKQuantileSummary(0.1)
+        summary.insert(1.0)
+        with pytest.raises(ValueError):
+            summary.query(1.5)
+
+    def test_single_value(self):
+        summary = GKQuantileSummary(0.1)
+        summary.insert(7.0)
+        assert summary.query(0.5) == 7.0
+
+    def test_min_and_max_exact(self):
+        summary = GKQuantileSummary(0.05)
+        summary.extend(np.arange(1000.0))
+        assert summary.query(0.0) == 0.0
+        assert summary.query(1.0) == 999.0
+
+    def test_rank_bounds_bracket_true_rank(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=2000)
+        summary = GKQuantileSummary(0.02)
+        summary.extend(data)
+        ordered = np.sort(data)
+        for probe in ordered[::200]:
+            low, high = summary.rank_bounds(float(probe))
+            true_rank = int(np.searchsorted(ordered, probe, side="right"))
+            slack = 0.02 * 2000 + 1
+            assert low - slack <= true_rank <= high + slack
+
+    @pytest.mark.parametrize("epsilon", [0.01, 0.05])
+    def test_rank_guarantee_uniform(self, epsilon):
+        rng = np.random.default_rng(1)
+        n = 4000
+        data = rng.permutation(np.arange(n)).astype(float)
+        summary = GKQuantileSummary(epsilon)
+        summary.extend(data)
+        for fraction in (0.1, 0.25, 0.5, 0.75, 0.9):
+            estimate = summary.query(fraction)
+            # data are 0..n-1, so the value is its own rank (0-based).
+            assert abs(estimate - fraction * n) <= 2 * epsilon * n + 2
+
+    def test_summary_much_smaller_than_stream(self):
+        rng = np.random.default_rng(2)
+        summary = GKQuantileSummary(0.02)
+        summary.extend(rng.normal(size=20000))
+        assert summary.summary_size < 2000
+        assert len(summary) == 20000
+
+    def test_quantiles_sorted(self):
+        rng = np.random.default_rng(3)
+        summary = GKQuantileSummary(0.05)
+        summary.extend(rng.normal(size=3000))
+        cuts = summary.quantiles(7)
+        assert cuts == sorted(cuts)
+        with pytest.raises(ValueError):
+            summary.quantiles(0)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_median_guarantee_property(self, points):
+        epsilon = 0.1
+        summary = GKQuantileSummary(epsilon)
+        summary.extend([float(p) for p in points])
+        estimate = summary.query(0.5)
+        ordered = sorted(points)
+        rank_low = np.searchsorted(ordered, estimate, side="left")
+        rank_high = np.searchsorted(ordered, estimate, side="right")
+        target = 0.5 * len(points)
+        slack = 2 * epsilon * len(points) + 1
+        assert rank_low - slack <= target <= rank_high + slack
+
+
+class TestGKMerge:
+    def test_merge_counts(self):
+        first = GKQuantileSummary(0.05)
+        first.extend([1.0, 2.0, 3.0])
+        second = GKQuantileSummary(0.05)
+        second.extend([10.0, 20.0])
+        merged = first.merge(second)
+        assert len(merged) == 5
+        assert merged.query(0.0) == 1.0
+        assert merged.query(1.0) == 20.0
+
+    def test_merge_with_empty(self):
+        first = GKQuantileSummary(0.1)
+        first.extend(np.arange(100.0))
+        empty = GKQuantileSummary(0.1)
+        merged = first.merge(empty)
+        assert len(merged) == 100
+        assert abs(merged.query(0.5) - 50.0) <= 25.0
+
+    def test_merge_rank_guarantee(self):
+        """Merged error is bounded by the sum of the input epsilons."""
+        rng = np.random.default_rng(9)
+        left = rng.normal(size=4000)
+        right = rng.normal(loc=3.0, size=2500)
+        epsilon = 0.02
+        first = GKQuantileSummary(epsilon)
+        first.extend(left)
+        second = GKQuantileSummary(epsilon)
+        second.extend(right)
+        merged = first.merge(second)
+        combined = np.sort(np.concatenate([left, right]))
+        n = combined.size
+        for fraction in (0.1, 0.25, 0.5, 0.75, 0.9):
+            estimate = merged.query(fraction)
+            rank = int(np.searchsorted(combined, estimate, side="right"))
+            assert abs(rank - fraction * n) <= 2 * (2 * epsilon) * n + 2
+
+    def test_merge_is_usable_for_further_queries(self):
+        rng = np.random.default_rng(10)
+        parts = [rng.normal(size=1000) for _ in range(4)]
+        summaries = []
+        for part in parts:
+            summary = GKQuantileSummary(0.05)
+            summary.extend(part)
+            summaries.append(summary)
+        merged = summaries[0]
+        for summary in summaries[1:]:
+            merged = merged.merge(summary)
+        assert len(merged) == 4000
+        assert merged.summary_size < 4000
+        median = merged.query(0.5)
+        truth = float(np.median(np.concatenate(parts)))
+        assert abs(median - truth) <= 0.5
+
+
+class TestReservoirSample:
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(0)
+
+    def test_estimates_before_data(self):
+        reservoir = ReservoirSample(4)
+        with pytest.raises(ValueError):
+            reservoir.estimate_mean()
+        with pytest.raises(ValueError):
+            reservoir.estimate_sum()
+        with pytest.raises(ValueError):
+            reservoir.estimate_quantile(0.5)
+
+    def test_keeps_everything_under_capacity(self):
+        reservoir = ReservoirSample(10)
+        reservoir.extend([1.0, 2.0, 3.0])
+        assert sorted(reservoir.values()) == [1.0, 2.0, 3.0]
+        assert reservoir.sample_size == 3
+        assert len(reservoir) == 3
+
+    def test_capacity_respected(self):
+        reservoir = ReservoirSample(16, seed=4)
+        reservoir.extend(np.arange(1000.0))
+        assert reservoir.sample_size == 16
+
+    def test_sample_is_subset_of_stream(self):
+        reservoir = ReservoirSample(8, seed=5)
+        stream = np.arange(500.0) * 3
+        reservoir.extend(stream)
+        assert set(reservoir.values()).issubset(set(stream))
+
+    def test_uniformity_rough(self):
+        """Each element should land in the sample with probability ~k/n."""
+        hits = np.zeros(100)
+        for seed in range(300):
+            reservoir = ReservoirSample(10, seed=seed)
+            reservoir.extend(np.arange(100.0))
+            for value in reservoir.values():
+                hits[int(value)] += 1
+        # Expected 30 hits each; allow generous tolerance.
+        assert hits.min() > 10
+        assert hits.max() < 60
+
+    def test_estimators_consistent(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(loc=5.0, size=5000)
+        reservoir = ReservoirSample(1000, seed=7)
+        reservoir.extend(data)
+        assert reservoir.estimate_mean() == pytest.approx(5.0, abs=0.3)
+        assert reservoir.estimate_sum() == pytest.approx(data.sum(), rel=0.1)
+        assert reservoir.estimate_quantile(0.5) == pytest.approx(
+            np.median(data), abs=0.3
+        )
+        with pytest.raises(ValueError):
+            reservoir.estimate_quantile(2.0)

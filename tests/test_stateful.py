@@ -1,0 +1,168 @@
+"""Stateful property tests: long random interaction sequences against
+reference models (hypothesis RuleBasedStateMachine)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.fixed_window import FixedWindowHistogramBuilder
+from repro.core.optimal import optimal_error
+from repro.core.prefix import SlidingPrefixSums
+from repro.sketches import GKQuantileSummary
+from repro.streams import SlidingWindow
+
+_VALUES = st.integers(min_value=0, max_value=1000).map(float)
+
+
+class SlidingPrefixMachine(RuleBasedStateMachine):
+    """SlidingPrefixSums vs a plain-list reference under random appends."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.capacity = 7
+        self.sliding = SlidingPrefixSums(self.capacity)
+        self.reference: list[float] = []
+
+    @rule(value=_VALUES)
+    def append(self, value):
+        self.sliding.append(value)
+        self.reference.append(value)
+        if len(self.reference) > self.capacity:
+            self.reference.pop(0)
+
+    @invariant()
+    def window_matches(self):
+        assert list(self.sliding.values()) == self.reference
+
+    @invariant()
+    def sums_match(self):
+        n = len(self.reference)
+        if n == 0:
+            return
+        assert abs(self.sliding.sum_range(0, n - 1) - sum(self.reference)) < 1e-6
+        mid = n // 2
+        assert (
+            abs(self.sliding.sum_range(mid, n - 1) - sum(self.reference[mid:]))
+            < 1e-6
+        )
+
+
+class SlidingWindowMachine(RuleBasedStateMachine):
+    """SlidingWindow eviction semantics vs a list reference."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.capacity = 5
+        self.window = SlidingWindow(self.capacity)
+        self.reference: list[float] = []
+
+    @rule(value=_VALUES)
+    def append(self, value):
+        evicted = self.window.append(value)
+        self.reference.append(value)
+        if len(self.reference) > self.capacity:
+            expected = self.reference.pop(0)
+            assert evicted == expected
+        else:
+            assert evicted is None
+
+    @invariant()
+    def contents_match(self):
+        assert list(self.window.values()) == self.reference
+        for index, expected in enumerate(self.reference):
+            assert self.window[index] == expected
+
+
+class FixedWindowMachine(RuleBasedStateMachine):
+    """The fixed-window builder keeps its guarantee through arbitrary
+    append/update/histogram interleavings."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.window_size = 12
+        self.buckets = 3
+        self.epsilon = 0.5
+        self.builder = FixedWindowHistogramBuilder(
+            self.window_size, self.buckets, self.epsilon
+        )
+        self.reference: list[float] = []
+
+    @rule(value=_VALUES)
+    def append(self, value):
+        self.builder.append(value)
+        self.reference.append(value)
+        if len(self.reference) > self.window_size:
+            self.reference.pop(0)
+
+    @precondition(lambda self: self.reference)
+    @rule()
+    def force_update(self):
+        self.builder.update()
+
+    @precondition(lambda self: self.reference)
+    @rule()
+    def check_histogram(self):
+        window = np.asarray(self.reference)
+        histogram = self.builder.histogram()
+        assert len(histogram) == window.size
+        sse = histogram.sse(window)
+        bound = (1.0 + self.epsilon) * optimal_error(window, self.buckets)
+        assert sse <= bound + 1e-6
+
+    @invariant()
+    def window_matches(self):
+        assert list(self.builder.window_values()) == self.reference
+
+
+class GKMachine(RuleBasedStateMachine):
+    """GK summary rank bounds stay valid under inserts and merges."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.epsilon = 0.1
+        self.summary = GKQuantileSummary(self.epsilon)
+        self.reference: list[float] = []
+
+    @rule(value=_VALUES)
+    def insert(self, value):
+        self.summary.insert(value)
+        self.reference.append(value)
+
+    @rule(values=st.lists(_VALUES, min_size=1, max_size=20))
+    def merge_batch(self, values):
+        other = GKQuantileSummary(self.epsilon)
+        other.extend(values)
+        self.summary = self.summary.merge(other)
+        self.reference.extend(values)
+
+    @invariant()
+    def count_matches(self):
+        assert len(self.summary) == len(self.reference)
+
+    @precondition(lambda self: self.reference)
+    @invariant()
+    def median_within_bound(self):
+        n = len(self.reference)
+        estimate = self.summary.query(0.5)
+        ordered = sorted(self.reference)
+        low = np.searchsorted(ordered, estimate, side="left")
+        high = np.searchsorted(ordered, estimate, side="right")
+        # Merges sum epsilons; a generous 4*eps*n + 2 covers any sequence
+        # of merges exercised here.
+        slack = 4 * self.epsilon * n + 2
+        assert low - slack <= 0.5 * n <= high + slack
+
+
+_settings = settings(max_examples=25, stateful_step_count=30, deadline=None)
+
+TestSlidingPrefixMachine = SlidingPrefixMachine.TestCase
+TestSlidingPrefixMachine.settings = _settings
+TestSlidingWindowMachine = SlidingWindowMachine.TestCase
+TestSlidingWindowMachine.settings = _settings
+TestFixedWindowMachine = FixedWindowMachine.TestCase
+TestFixedWindowMachine.settings = _settings
+TestGKMachine = GKMachine.TestCase
+TestGKMachine.settings = _settings

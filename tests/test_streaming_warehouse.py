@@ -1,0 +1,117 @@
+"""Tests for one-pass warehouse summaries (repro.warehouse.streaming)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import warehouse_measure_column
+from repro.warehouse import (
+    AttributeSummary,
+    Relation,
+    StreamingEquiDepthSummary,
+    StreamingWaveletSummary,
+)
+
+
+class TestStreamingEquiDepth:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            StreamingEquiDepthSummary(0)
+        summary = StreamingEquiDepthSummary(4)
+        with pytest.raises(ValueError):
+            summary.insert(-1.0)
+        with pytest.raises(ValueError):
+            summary.histogram()
+        with pytest.raises(ValueError):
+            summary.estimate_count(0, 1)
+
+    def test_histogram_covers_domain(self):
+        summary = StreamingEquiDepthSummary(4, epsilon=0.05)
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 200, size=3000)
+        summary.extend(values)
+        histogram = summary.histogram()
+        assert len(histogram) == int(values.max()) + 1
+        assert histogram.num_buckets <= 4
+        # Total mass approximately equals the row count.
+        total = histogram.range_sum(0, len(histogram) - 1)
+        assert total == pytest.approx(3000, rel=0.05)
+
+    def test_buckets_roughly_equal_mass(self):
+        summary = StreamingEquiDepthSummary(8, epsilon=0.01)
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1000, size=20000)
+        summary.extend(values)
+        histogram = summary.histogram()
+        masses = [bucket.total for bucket in histogram.buckets]
+        mean_mass = sum(masses) / len(masses)
+        assert max(masses) <= 2.0 * mean_mass
+
+    def test_count_estimates_close(self):
+        column = warehouse_measure_column(30000, seed=2)
+        relation = Relation({"v": column})
+        summary = StreamingEquiDepthSummary(16, epsilon=0.005)
+        summary.extend(column)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            low = float(rng.integers(0, 800))
+            high = low + float(rng.integers(50, 400))
+            exact = relation.count_range("v", low, high)
+            estimate = summary.estimate_count(low, high)
+            assert abs(estimate - exact) <= 0.02 * len(relation) + 5
+
+    def test_empty_range(self):
+        summary = StreamingEquiDepthSummary(4)
+        summary.extend([1.0, 2.0, 3.0])
+        assert summary.estimate_count(5, 2) == 0.0
+
+
+class TestStreamingWavelet:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            StreamingWaveletSummary(100, 0)
+        summary = StreamingWaveletSummary(100, 8)
+        with pytest.raises(ValueError):
+            summary.estimate_count(0, 10)
+
+    def test_counts_with_generous_budget(self):
+        summary = StreamingWaveletSummary(64, 64)
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 64, size=5000)
+        summary.extend(values)
+        exact = int(np.count_nonzero((values >= 10) & (values <= 30)))
+        assert summary.estimate_count(10, 30) == pytest.approx(exact, rel=0.02)
+
+    def test_delete_supported(self):
+        summary = StreamingWaveletSummary(32, 32)
+        summary.extend([5, 5, 9])
+        summary.delete(5)
+        assert summary.estimate_count(5, 5) == pytest.approx(1.0, abs=1e-6)
+        assert len(summary) == 2
+
+
+class TestConstructionRoutesAgree:
+    def test_all_routes_estimate_the_same_distribution(self):
+        """Frequency-vector, GK, and wavelet routes answer comparably."""
+        column = warehouse_measure_column(20000, seed=5)
+        relation = Relation({"v": column})
+        domain = int(column.max()) + 1
+
+        frequency_route = AttributeSummary.build(
+            relation, "v", 16, method="approximate", epsilon=0.1
+        )
+        gk_route = StreamingEquiDepthSummary(16, epsilon=0.005)
+        gk_route.extend(column)
+        wavelet_route = StreamingWaveletSummary(domain, 32)
+        wavelet_route.extend(column)
+
+        rng = np.random.default_rng(6)
+        rows = len(relation)
+        for _ in range(15):
+            low = float(rng.integers(0, 700))
+            high = low + float(rng.integers(100, 500))
+            exact = relation.count_range("v", low, high)
+            for route in (frequency_route, gk_route, wavelet_route):
+                estimate = route.estimate_count(low, high)
+                assert abs(estimate - exact) <= 0.15 * rows + 10

@@ -1,0 +1,195 @@
+"""Tests for the stream substrate (repro.streams)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import (
+    ArraySource,
+    SlidingWindow,
+    batched,
+    bursty_traffic,
+    clickstream_bytes,
+    diurnal_utilization,
+    fault_sequence,
+    gbm_prices,
+    level_shifts,
+    mixture_stream,
+    random_walk,
+    take,
+    zipf_frequencies,
+)
+
+
+class TestArraySource:
+    def test_replays_values(self):
+        source = ArraySource([1.0, 2.0, 3.0])
+        assert list(source) == [1.0, 2.0, 3.0]
+        assert len(source) == 3
+
+    def test_repeat(self):
+        source = ArraySource([1.0, 2.0], repeat=3)
+        assert list(source) == [1.0, 2.0] * 3
+        assert len(source) == 6
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            ArraySource(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            ArraySource([1.0], repeat=0)
+
+
+class TestTakeAndBatched:
+    def test_take(self):
+        assert list(take(itertools.count(), 4)) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_take_validates(self):
+        with pytest.raises(ValueError):
+            take([1.0], -1)
+        with pytest.raises(ValueError):
+            take([1.0], 5)  # stream too short
+
+    def test_batched(self):
+        batches = list(batched([1, 2, 3, 4, 5], 2))
+        assert [list(b) for b in batches] == [[1, 2], [3, 4], [5]]
+
+    def test_batched_validates(self):
+        with pytest.raises(ValueError):
+            list(batched([1], 0))
+
+
+class TestSlidingWindow:
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+    def test_fill_then_slide(self):
+        window = SlidingWindow(3)
+        assert window.append(1.0) is None
+        assert window.append(2.0) is None
+        assert window.append(3.0) is None
+        assert window.is_full
+        assert window.append(4.0) == 1.0  # evicts the oldest
+        assert list(window.values()) == [2.0, 3.0, 4.0]
+
+    def test_getitem_relative(self):
+        window = SlidingWindow(3)
+        window.extend([1.0, 2.0, 3.0, 4.0])
+        assert window[0] == 2.0
+        assert window[-1] == 4.0
+        with pytest.raises(IndexError):
+            _ = window[3]
+
+    def test_partial_window(self):
+        window = SlidingWindow(5)
+        window.extend([7.0, 8.0])
+        assert len(window) == 2
+        assert not window.is_full
+        assert list(window.values()) == [7.0, 8.0]
+
+    @given(
+        st.integers(1, 10),
+        st.lists(st.integers(0, 100), min_size=1, max_size=80),
+    )
+    @settings(max_examples=50)
+    def test_always_holds_last_k(self, capacity, points):
+        window = SlidingWindow(capacity)
+        for index, point in enumerate(points):
+            window.append(float(point))
+            expected = points[max(0, index + 1 - capacity) : index + 1]
+            assert list(window.values()) == [float(p) for p in expected]
+            assert window[0] == float(expected[0])
+
+
+class TestSyntheticGenerators:
+    GENERATORS = [
+        random_walk,
+        level_shifts,
+        bursty_traffic,
+        diurnal_utilization,
+        zipf_frequencies,
+        gbm_prices,
+        fault_sequence,
+        clickstream_bytes,
+        mixture_stream,
+    ]
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_deterministic_given_seed(self, generator):
+        first = take(generator(seed=9), 64)
+        second = take(generator(seed=9), 64)
+        assert np.array_equal(first, second)
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_different_seeds_differ(self, generator):
+        first = take(generator(seed=1), 64)
+        second = take(generator(seed=2), 64)
+        assert not np.array_equal(first, second)
+
+    @pytest.mark.parametrize(
+        "generator",
+        [random_walk, level_shifts, bursty_traffic, diurnal_utilization,
+         zipf_frequencies, fault_sequence, clickstream_bytes, mixture_stream],
+    )
+    def test_integer_quantization(self, generator):
+        values = take(generator(seed=3), 128)
+        assert np.array_equal(values, np.round(values))
+        assert np.all(values >= 0)
+
+    def test_random_walk_bounded(self):
+        values = take(random_walk(seed=4, low=0, high=50, start=25), 500)
+        assert values.min() >= 0
+        assert values.max() <= 50
+
+    def test_level_shifts_has_plateaus(self):
+        values = take(level_shifts(seed=5, noise=0.0), 400)
+        # With zero noise the stream is piecewise constant: few distinct runs.
+        runs = 1 + int(np.count_nonzero(np.diff(values)))
+        assert runs < 40
+
+    def test_bursty_traffic_has_bursts(self):
+        values = take(bursty_traffic(seed=6), 2000)
+        assert values.max() > 5 * np.median(values)
+
+    def test_diurnal_period_visible(self):
+        values = take(diurnal_utilization(seed=7, noise=0.0), 576)
+        # Two full periods: correlation with a 288-shift is high.
+        first, second = values[:288], values[288:]
+        assert np.corrcoef(first, second)[0, 1] > 0.99
+
+    def test_zipf_skew(self):
+        values = take(zipf_frequencies(seed=8), 4000)
+        # Heavy tail: the 99th percentile dwarfs the median.
+        assert np.percentile(values, 99) > 10 * np.median(values)
+        assert values.max() > 100
+
+    def test_gbm_positive(self):
+        values = take(gbm_prices(seed=9), 1000)
+        assert np.all(values > 0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            take(level_shifts(dwell=0), 1)
+        with pytest.raises(ValueError):
+            take(diurnal_utilization(period=1), 1)
+        with pytest.raises(ValueError):
+            take(zipf_frequencies(alpha=1.0), 1)
+        with pytest.raises(ValueError):
+            take(fault_sequence(base_rate=-1.0), 1)
+        with pytest.raises(ValueError):
+            take(clickstream_bytes(session_rate=2.0), 1)
+
+    def test_fault_sequence_is_sparse_with_storms(self):
+        values = take(fault_sequence(seed=11), 6000)
+        assert np.median(values) <= 2
+        assert values.max() > 10  # at least one storm interval
+
+    def test_clickstream_heavy_tailed(self):
+        values = take(clickstream_bytes(seed=12), 2000)
+        assert np.all(values >= 0)
+        assert np.percentile(values, 99) > 5 * max(np.median(values), 1.0)

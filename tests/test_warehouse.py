@@ -1,0 +1,140 @@
+"""Tests for the warehouse AQP subsystem (repro.warehouse)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import warehouse_measure_column
+from repro.warehouse import AttributeSummary, Relation
+
+
+class TestRelation:
+    def test_validates_columns(self):
+        with pytest.raises(ValueError):
+            Relation({})
+        with pytest.raises(ValueError):
+            Relation({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_basic_accessors(self):
+        relation = Relation({"x": [1.0, 2.0, 3.0]})
+        assert len(relation) == 3
+        assert relation.column_names == ["x"]
+        assert list(relation.column("x")) == [1.0, 2.0, 3.0]
+        with pytest.raises(KeyError):
+            relation.column("y")
+
+    def test_column_copies_are_isolated(self):
+        source = np.asarray([1.0, 2.0])
+        relation = Relation({"x": source})
+        source[0] = 99.0
+        assert relation.column("x")[0] == 1.0
+        relation.column("x")[0] = 77.0
+        assert relation.column("x")[0] == 1.0
+
+    def test_exact_aggregates(self):
+        relation = Relation({"x": [1.0, 5.0, 5.0, 9.0]})
+        assert relation.count_range("x", 2, 6) == 2
+        assert relation.sum_range("x", 2, 6) == 10.0
+        assert relation.count_range("x", 100, 200) == 0
+
+    def test_frequency_vector(self):
+        relation = Relation({"x": [0.0, 2.0, 2.0, 5.0]})
+        assert list(relation.frequency_vector("x")) == [1, 0, 2, 0, 0, 1]
+
+    def test_frequency_vector_validation(self):
+        with pytest.raises(ValueError):
+            Relation({"x": [-1.0, 2.0]}).frequency_vector("x")
+        with pytest.raises(ValueError):
+            Relation({"x": [1.5, 2.0]}).frequency_vector("x")
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=100), st.data())
+    @settings(max_examples=40)
+    def test_frequency_vector_consistent_with_counts(self, values, data):
+        relation = Relation({"x": [float(v) for v in values]})
+        frequencies = relation.frequency_vector("x")
+        low = data.draw(st.integers(0, 30))
+        high = data.draw(st.integers(low, 31))
+        expected = relation.count_range("x", low, high)
+        clipped_high = min(high, frequencies.size - 1)
+        total = frequencies[low : clipped_high + 1].sum() if low < frequencies.size else 0
+        assert total == expected
+
+
+class TestAttributeSummary:
+    @pytest.fixture
+    def relation(self) -> Relation:
+        return Relation({"usage": warehouse_measure_column(20000, seed=3)})
+
+    def test_unknown_method(self, relation):
+        with pytest.raises(ValueError):
+            AttributeSummary.build(relation, "usage", 8, method="magic")
+
+    @pytest.mark.parametrize("method", ["optimal", "approximate", "equal_width", "maxdiff"])
+    def test_build_methods(self, relation, method):
+        summary = AttributeSummary.build(relation, "usage", 16, method=method)
+        assert summary.histogram.num_buckets <= 16
+        assert summary.rows == len(relation)
+        assert summary.domain_size == relation.frequency_vector("usage").size
+
+    def test_count_estimates_reasonable(self, relation):
+        summary = AttributeSummary.build(relation, "usage", 32, method="optimal")
+        total_estimate = summary.estimate_count(0, summary.domain_size)
+        assert total_estimate == pytest.approx(len(relation), rel=1e-6)
+
+    def test_count_empty_range(self, relation):
+        summary = AttributeSummary.build(relation, "usage", 8)
+        assert summary.estimate_count(5000, 6000) == 0.0
+        assert summary.estimate_count(7.5, 7.2) == 0.0
+
+    def test_selectivity_in_unit_interval(self, relation):
+        summary = AttributeSummary.build(relation, "usage", 16)
+        for low, high in [(0, 10), (100, 500), (0, 2000)]:
+            selectivity = summary.estimate_selectivity(low, high)
+            assert 0.0 <= selectivity <= 1.0 + 1e-9
+
+    def test_sum_estimate_tracks_exact(self, relation):
+        summary = AttributeSummary.build(relation, "usage", 64, method="optimal")
+        exact = relation.sum_range("usage", 0, 1000)
+        estimate = summary.estimate_sum(0, 1000)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_average_estimate(self, relation):
+        summary = AttributeSummary.build(relation, "usage", 64, method="optimal")
+        exact_avg = relation.sum_range("usage", 0, 1000) / relation.count_range(
+            "usage", 0, 1000
+        )
+        assert summary.estimate_average(0, 1000) == pytest.approx(exact_avg, rel=0.1)
+        assert summary.estimate_average(5000, 6000) == 0.0
+
+    def test_approximate_close_to_optimal(self, relation):
+        """The paper's section 5.2 finding, at test scale."""
+        rng = np.random.default_rng(4)
+        optimal = AttributeSummary.build(relation, "usage", 24, method="optimal")
+        approx = AttributeSummary.build(
+            relation, "usage", 24, method="approximate", epsilon=0.1
+        )
+        errors = {"optimal": 0.0, "approx": 0.0}
+        for _ in range(60):
+            low = float(rng.integers(0, 900))
+            high = low + float(rng.integers(1, 400))
+            exact = relation.count_range("usage", low, high)
+            errors["optimal"] += abs(optimal.estimate_count(low, high) - exact)
+            errors["approx"] += abs(approx.estimate_count(low, high) - exact)
+        assert errors["approx"] <= 1.5 * errors["optimal"] + 60.0
+
+    def test_heuristics_worse_than_optimal_on_skew(self, relation):
+        rng = np.random.default_rng(5)
+        optimal = AttributeSummary.build(relation, "usage", 16, method="optimal")
+        width = AttributeSummary.build(relation, "usage", 16, method="equal_width")
+        optimal_error = 0.0
+        width_error = 0.0
+        for _ in range(60):
+            low = float(rng.integers(0, 900))
+            high = low + float(rng.integers(1, 400))
+            exact = relation.count_range("usage", low, high)
+            optimal_error += abs(optimal.estimate_count(low, high) - exact)
+            width_error += abs(width.estimate_count(low, high) - exact)
+        assert optimal_error < width_error

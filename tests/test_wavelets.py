@@ -1,0 +1,186 @@
+"""Tests for the Haar transform and wavelet synopses (repro.wavelets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wavelets import (
+    WaveletSynopsis,
+    coefficient_support,
+    haar_inverse,
+    haar_transform,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+power_of_two_sequences = st.integers(1, 6).flatmap(
+    lambda k: st.lists(
+        st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+        min_size=2**k,
+        max_size=2**k,
+    )
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+class TestHelpers:
+    def test_is_power_of_two(self):
+        assert [n for n in range(1, 20) if is_power_of_two(n)] == [1, 2, 4, 8, 16]
+        assert not is_power_of_two(0)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(8) == 8
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    def test_coefficient_support_layout(self):
+        # n = 8: index 1 covers everything, split at 4.
+        assert coefficient_support(1, 8) == (0, 4, 8)
+        assert coefficient_support(2, 8) == (0, 2, 4)
+        assert coefficient_support(3, 8) == (4, 6, 8)
+        assert coefficient_support(7, 8) == (6, 7, 8)
+        assert coefficient_support(0, 8) == (0, 8, 8)
+
+    def test_coefficient_support_bounds(self):
+        with pytest.raises(IndexError):
+            coefficient_support(8, 8)
+        with pytest.raises(ValueError):
+            coefficient_support(0, 6)
+
+
+class TestTransform:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_transform([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            haar_inverse([1.0, 2.0, 3.0])
+
+    def test_constant_signal_single_coefficient(self):
+        coefficients = haar_transform([3.0] * 8)
+        assert coefficients[0] == pytest.approx(3.0 * np.sqrt(8))
+        assert np.allclose(coefficients[1:], 0.0)
+
+    def test_scaling_coefficient_is_scaled_mean(self):
+        values = np.asarray([1.0, 5.0, 3.0, 7.0])
+        coefficients = haar_transform(values)
+        assert coefficients[0] == pytest.approx(values.mean() * 2.0)
+
+    @given(power_of_two_sequences)
+    def test_roundtrip(self, values):
+        assert np.allclose(haar_inverse(haar_transform(values)), values, atol=1e-8)
+
+    @given(power_of_two_sequences)
+    def test_parseval(self, values):
+        """Orthonormality: energy is preserved."""
+        coefficients = haar_transform(values)
+        assert np.sum(coefficients**2) == pytest.approx(
+            np.sum(values**2), rel=1e-9, abs=1e-6
+        )
+
+    @given(power_of_two_sequences)
+    def test_linearity(self, values):
+        assert np.allclose(
+            haar_transform(2.0 * values), 2.0 * haar_transform(values), atol=1e-8
+        )
+
+    def test_matches_explicit_basis(self):
+        """Reconstruction agrees with the documented coefficient layout."""
+        rng = np.random.default_rng(5)
+        values = rng.normal(size=8)
+        coefficients = haar_transform(values)
+        rebuilt = np.zeros(8)
+        for index in range(8):
+            start, mid, end = coefficient_support(index, 8)
+            basis = np.zeros(8)
+            if index == 0:
+                basis[:] = 1.0 / np.sqrt(8)
+            else:
+                width = end - start
+                basis[start:mid] = 1.0 / np.sqrt(width)
+                basis[mid:end] = -1.0 / np.sqrt(width)
+            rebuilt += coefficients[index] * basis
+        assert np.allclose(rebuilt, values, atol=1e-8)
+
+
+class TestWaveletSynopsis:
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            WaveletSynopsis.from_values([], 4)
+        with pytest.raises(ValueError):
+            WaveletSynopsis.from_values([1.0], 0)
+        with pytest.raises(ValueError):
+            WaveletSynopsis({0: 1.0}, 3, 2)  # padded length not a power of two
+        with pytest.raises(ValueError):
+            WaveletSynopsis({9: 1.0}, 8, 8)  # coefficient out of range
+
+    def test_full_budget_reconstructs_exactly(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=32)
+        synopsis = WaveletSynopsis.from_values(values, 32)
+        assert np.allclose(synopsis.to_array(), values, atol=1e-8)
+        assert synopsis.sse(values) == pytest.approx(0.0, abs=1e-9)
+
+    def test_budget_respected(self):
+        synopsis = WaveletSynopsis.from_values(np.arange(64.0), 5)
+        assert synopsis.budget == 5
+
+    def test_thresholding_is_l2_optimal_among_coefficient_subsets(self):
+        """Keeping the largest coefficients minimizes SSE (Parseval)."""
+        rng = np.random.default_rng(8)
+        values = rng.normal(size=16)
+        coefficients = haar_transform(values)
+        synopsis = WaveletSynopsis.from_values(values, 4)
+        kept = set(synopsis.coefficients)
+        dropped_energy = sum(
+            coefficients[i] ** 2 for i in range(16) if i not in kept
+        )
+        assert synopsis.sse(values) == pytest.approx(dropped_energy, rel=1e-6)
+
+    @given(power_of_two_sequences, st.integers(1, 16))
+    @settings(max_examples=40)
+    def test_point_estimates_match_reconstruction(self, values, budget):
+        synopsis = WaveletSynopsis.from_values(values, budget)
+        dense = synopsis.to_array()
+        for position in range(0, values.size, max(1, values.size // 5)):
+            assert synopsis.point_estimate(position) == pytest.approx(
+                dense[position], abs=1e-8
+            )
+
+    @given(power_of_two_sequences, st.integers(1, 16), st.data())
+    @settings(max_examples=40)
+    def test_range_sum_matches_reconstruction(self, values, budget, data):
+        synopsis = WaveletSynopsis.from_values(values, budget)
+        dense = synopsis.to_array()
+        i = data.draw(st.integers(0, values.size - 1))
+        j = data.draw(st.integers(i, values.size - 1))
+        assert synopsis.range_sum(i, j) == pytest.approx(
+            float(dense[i : j + 1].sum()), abs=1e-6
+        )
+
+    def test_non_power_of_two_padding(self):
+        values = np.arange(100.0)
+        synopsis = WaveletSynopsis.from_values(values, 20)
+        assert len(synopsis) == 100
+        with pytest.raises(ValueError):
+            synopsis.range_sum(0, 100)
+        with pytest.raises(IndexError):
+            synopsis.point_estimate(100)
+
+    def test_sse_decreases_with_budget(self):
+        rng = np.random.default_rng(11)
+        values = rng.normal(size=64).cumsum()
+        errors = [
+            WaveletSynopsis.from_values(values, budget).sse(values)
+            for budget in (2, 8, 32, 64)
+        ]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_sse_length_mismatch(self):
+        synopsis = WaveletSynopsis.from_values(np.arange(8.0), 4)
+        with pytest.raises(ValueError):
+            synopsis.sse(np.arange(9.0))
