@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
 """Quickstart: maintain a histogram of the last n stream points.
 
-Runs the paper's fixed-window algorithm over a synthetic utilization
-stream, answers a few range-sum queries from the synopsis, and compares
-the result against the optimal (quadratic-time) histogram of the same
-window.
+Builds the paper's fixed-window maintainer through the runtime registry,
+streams a synthetic utilization trace into it in batches, answers a few
+range-sum queries from the synopsis, and compares the result against the
+optimal (quadratic-time) histogram of the same window.
 
 Usage::
 
@@ -13,7 +13,7 @@ Usage::
 
 from __future__ import annotations
 
-from repro import FixedWindowHistogramBuilder, optimal_error
+from repro import make_maintainer, optimal_error
 from repro.datasets import att_utilization_stream
 
 WINDOW = 512
@@ -24,14 +24,18 @@ EPSILON = 0.1
 def main() -> None:
     stream = att_utilization_stream(2000, seed=1)
 
-    # One pass over the stream; the builder keeps only the window and the
-    # interval queues, never the full history.
-    builder = FixedWindowHistogramBuilder(WINDOW, BUCKETS, EPSILON)
-    for value in stream:
-        builder.append(value)
+    # Any registered backend resolves by name ("fixed_window",
+    # "agglomerative", "wavelet", "gk_quantiles", ...); the maintainer
+    # keeps only the window and the interval queues, never the full
+    # history.  Batched `extend` amortizes the per-point Python overhead.
+    maintainer = make_maintainer(
+        "fixed_window", window_size=WINDOW, num_buckets=BUCKETS, epsilon=EPSILON
+    )
+    for start in range(0, len(stream), 256):
+        maintainer.extend(stream[start : start + 256])
 
-    histogram = builder.histogram()
-    window = builder.window_values()
+    histogram = maintainer.synopsis()
+    window = maintainer.window_values()
 
     print(f"Synopsis of the last {WINDOW} points with {BUCKETS} buckets:")
     print(histogram.describe())
@@ -48,12 +52,19 @@ def main() -> None:
     print()
 
     optimum = optimal_error(window, BUCKETS)
-    achieved = builder.error_estimate
+    achieved = maintainer.builder.error_estimate
     ratio = achieved / optimum if optimum > 0 else 1.0
     print(f"SSE of synopsis : {achieved:,.0f}")
     print(f"Optimal SSE     : {optimum:,.0f}")
     print(f"Ratio           : {ratio:.4f}  (guarantee: <= {1 + EPSILON})")
     assert ratio <= 1 + EPSILON + 1e-9
+
+    counters = maintainer.stats().counters()
+    print()
+    print(
+        "Maintenance telemetry: "
+        + ", ".join(f"{key}={value}" for key, value in sorted(counters.items()))
+    )
 
 
 if __name__ == "__main__":

@@ -51,6 +51,14 @@ from .query import (
     measure_accuracy,
 )
 from .mining import HistogramChangeDetector, cluster_series
+from .runtime import (
+    Maintainer,
+    MaintainerStats,
+    StreamPipeline,
+    available_maintainers,
+    make_maintainer,
+    register_maintainer,
+)
 from .sketches import GKQuantileSummary, ReservoirSample
 from .streams import SlidingWindow
 from .similarity import SeriesIndex, SubsequenceIndex, VOptimalReducer, apca
@@ -75,6 +83,8 @@ __all__ = [
     "Histogram",
     "HistogramChangeDetector",
     "HistogramMaintainer",
+    "Maintainer",
+    "MaintainerStats",
     "PointQuery",
     "PrefixSums",
     "RandomRangeWorkload",
@@ -87,6 +97,7 @@ __all__ = [
     "StandingQuery",
     "StreamingEquiDepthSummary",
     "StreamingWaveletSummary",
+    "StreamPipeline",
     "StreamQueryEngine",
     "SubsequenceIndex",
     "VOptimalReducer",
@@ -94,7 +105,9 @@ __all__ = [
     "WaveletSynopsis",
     "apca",
     "approximate_histogram",
+    "available_maintainers",
     "cluster_series",
+    "make_maintainer",
     "equal_depth_histogram",
     "equal_width_histogram",
     "maxdiff_histogram",
@@ -102,5 +115,6 @@ __all__ = [
     "minimax_histogram",
     "optimal_error",
     "optimal_histogram",
+    "register_maintainer",
     "__version__",
 ]

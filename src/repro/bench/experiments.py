@@ -36,6 +36,7 @@ from ..datasets import att_utilization_stream, timeseries_collection, warehouse_
 from ..query.accuracy import measure_accuracy
 from ..query.engine import ExactMaintainer, HistogramMaintainer, StreamQueryEngine, WaveletMaintainer
 from ..query.workload import RandomRangeWorkload
+from ..runtime import FixedWindowMaintainer, StreamPipeline, make_maintainer
 from ..similarity.features import APCAReducer, PAAReducer, VOptimalReducer
 from ..similarity.index import SeriesIndex
 from ..similarity.subsequence import SubsequenceIndex
@@ -131,31 +132,22 @@ def fig6_time(
     for window in window_sizes:
         stream = att_utilization_stream(window + arrivals, seed=seed)
         for buckets in bucket_counts:
-            builder = FixedWindowHistogramBuilder(window, buckets, epsilon)
-            builder.extend(stream[:window])
-            builder.update()
-            histogram_watch = Stopwatch()
-            evals = 0
-            for value in stream[window:]:
-                with histogram_watch:
-                    builder.append(value)
-                    builder.update()
-                evals += builder.last_stats.herror_evaluations
-
+            histogram = HistogramMaintainer(window, buckets, epsilon)
             wavelet = WaveletMaintainer(window, buckets)
-            for value in stream[:window]:
-                wavelet.append(value)
-            wavelet_watch = Stopwatch()
-            for value in stream[window:]:
-                with wavelet_watch:
-                    wavelet.append(value)
-                    wavelet.maintain()
-
+            for maintainer in (histogram, wavelet):
+                maintainer.extend(stream[:window])
+                maintainer.maintain()
+            warm_evals = histogram.stats().herror_evaluations
+            # Rebuild after every arrival: the paper's incremental model.
+            reports = StreamPipeline(
+                [histogram, wavelet], maintain_every=1
+            ).run(stream[window:])
+            evals = histogram.stats().herror_evaluations - warm_evals
             table.add_row(
                 window=window,
                 buckets=buckets,
-                histogram_ms=1e3 * histogram_watch.elapsed / arrivals,
-                wavelet_ms=1e3 * wavelet_watch.elapsed / arrivals,
+                histogram_ms=1e3 * reports[0].maintenance_seconds / arrivals,
+                wavelet_ms=1e3 * reports[1].maintenance_seconds / arrivals,
                 herror_evals=evals // arrivals,
             )
     return table
@@ -383,19 +375,23 @@ def epsilon_ablation(
     final_window = stream[arrivals : window + arrivals]
     optimal = optimal_error(final_window, num_buckets)
     for epsilon in epsilons:
-        builder = FixedWindowHistogramBuilder(window, num_buckets, epsilon)
-        builder.extend(stream[:window])
-        builder.update()
-        watch = Stopwatch()
-        for value in stream[window:]:
-            with watch:
-                builder.append(value)
-                builder.update()
+        maintainer = make_maintainer(
+            "fixed_window",
+            window_size=window,
+            num_buckets=num_buckets,
+            epsilon=epsilon,
+        )
+        maintainer.extend(stream[:window])
+        maintainer.maintain()
+        report = StreamPipeline([maintainer], maintain_every=1).run(
+            stream[window:]
+        )[0]
+        builder = maintainer.builder
         sse = builder.error_estimate
         table.add_row(
             epsilon=epsilon,
             sse_ratio=sse / optimal if optimal > 0 else 1.0,
-            ms_per_arrival=1e3 * watch.elapsed / arrivals,
+            ms_per_arrival=1e3 * report.maintenance_seconds / arrivals,
             intervals_per_level=int(
                 np.mean(builder.last_stats.intervals_per_level)
             ),
@@ -424,17 +420,20 @@ def scaling_ablation(
     )
     for window in window_sizes:
         stream = att_utilization_stream(window + arrivals, seed=seed)
-        builder = FixedWindowHistogramBuilder(window, num_buckets, epsilon)
-        builder.extend(stream[:window])
-        builder.update()
-        watch = Stopwatch()
-        evals = 0
-        for value in stream[window:]:
-            with watch:
-                builder.append(value)
-                builder.update()
-            evals += builder.last_stats.herror_evaluations
-        fw_ms = 1e3 * watch.elapsed / arrivals
+        maintainer = make_maintainer(
+            "fixed_window",
+            window_size=window,
+            num_buckets=num_buckets,
+            epsilon=epsilon,
+        )
+        maintainer.extend(stream[:window])
+        maintainer.maintain()
+        warm_evals = maintainer.stats().herror_evaluations
+        report = StreamPipeline([maintainer], maintain_every=1).run(
+            stream[window:]
+        )[0]
+        evals = maintainer.stats().herror_evaluations - warm_evals
+        fw_ms = 1e3 * report.maintenance_seconds / arrivals
 
         dp_ms = float("nan")
         if window <= max_dp_window:
@@ -539,32 +538,34 @@ def maintenance_cadence(
     )
     stream = att_utilization_stream(window + arrivals, seed=seed)
     for cadence in cadences:
-        builder = FixedWindowHistogramBuilder(window, num_buckets, epsilon)
-        builder.extend(stream[:window])
-        builder.update()
+        maintainer = FixedWindowMaintainer(
+            window, num_buckets, epsilon, cache_synopsis=True
+        )
+        maintainer.extend(stream[:window])
+        maintainer.maintain()
         workload = RandomRangeWorkload(window, seed=seed)
-        watch = Stopwatch()
-        error_total = 0.0
-        error_count = 0
-        histogram = builder.histogram()
-        for offset, value in enumerate(stream[window:], start=1):
-            with watch:
-                builder.append(value)
-                if offset % cadence == 0:
-                    builder.update()
-                    histogram = builder.histogram()
+        error = {"total": 0.0, "count": 0}
+
+        def score(arrivals_seen: int, pipeline: StreamPipeline) -> None:
+            histogram = maintainer.last_synopsis()  # stale by up to c - 1
+            live = maintainer.window_values()
+            for query in workload.sample(queries_per_checkpoint):
+                exact = float(live[query.start : query.end + 1].sum())
+                error["total"] += abs(query.answer(histogram) - exact)
+                error["count"] += 1
+
+        report = StreamPipeline(
+            [maintainer],
+            maintain_every=cadence,
             # Evaluate at a prime stride so checkpoints do not line up with
             # any cadence (staleness would otherwise be invisible).
-            if offset % 37 == 0:
-                live = stream[window + offset - window : window + offset]
-                for query in workload.sample(queries_per_checkpoint):
-                    exact = float(live[query.start : query.end + 1].sum())
-                    error_total += abs(query.answer(histogram) - exact)
-                    error_count += 1
+            checkpoint_every=37,
+            on_checkpoint=score,
+        ).run(stream[window:])[0]
         table.add_row(
             cadence=cadence,
-            ms_per_arrival=1e3 * watch.elapsed / arrivals,
-            stale_query_err=error_total / max(1, error_count),
+            ms_per_arrival=1e3 * report.maintenance_seconds / arrivals,
+            stale_query_err=error["total"] / max(1, error["count"]),
         )
     return table
 

@@ -34,7 +34,7 @@ import numpy as np
 
 from .bucket import Bucket, Histogram
 from .intervals import RELATIVE_TOLERANCE
-from .prefix import SlidingPrefixSums
+from .prefix import SlidingPrefixSums, as_stream_batch
 
 __all__ = ["FixedWindowHistogramBuilder", "RebuildStats"]
 
@@ -141,6 +141,7 @@ class FixedWindowHistogramBuilder:
         self._dirty = True
         self.last_stats = RebuildStats()
         self.lifetime_stats = RebuildStats()
+        self.rebuild_count = 0
 
     def __len__(self) -> int:
         """Current window length (≤ window_size)."""
@@ -160,8 +161,27 @@ class FixedWindowHistogramBuilder:
         self._dirty = True
 
     def extend(self, values) -> None:
-        for value in values:
-            self.append(value)
+        """Slide the window forward by a whole batch (vectorized).
+
+        One rebuild amortizes over the batch: the prefix structure advances
+        in bulk and the interval cover stays stale until the next
+        :meth:`update` / :meth:`histogram`.
+        """
+        if (
+            isinstance(values, np.ndarray)
+            and values.dtype == np.float64
+            and values.ndim == 1
+        ):
+            array = values  # validated downstream by the prefix structure
+        else:
+            array = as_stream_batch(values)
+        if array.size == 0:
+            return
+        if array.size == 1:
+            self.append(float(array[0]))
+            return
+        self._prefix.extend(array)
+        self._dirty = True
 
     def update(self) -> None:
         """Rebuild the interval cover for the current window if stale."""
@@ -293,6 +313,7 @@ class FixedWindowHistogramBuilder:
             self._final_error = self._evaluate(last, self.num_buckets)
         self.lifetime_stats.herror_evaluations += self.last_stats.herror_evaluations
         self.lifetime_stats.search_probes += self.last_stats.search_probes
+        self.rebuild_count += 1
 
     def _rebuild_dense(self, last: int) -> None:
         """Vectorized rebuild: evaluate every level at every position.

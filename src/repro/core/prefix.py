@@ -19,16 +19,23 @@ import math
 
 import numpy as np
 
-__all__ = ["PrefixSums", "SlidingPrefixSums"]
+__all__ = ["PrefixSums", "SlidingPrefixSums", "as_stream_batch"]
 
 
 def _as_float_array(values) -> np.ndarray:
+    if not isinstance(values, (np.ndarray, list, tuple)):
+        values = list(values)  # materialize generators / iterators
     array = np.asarray(values, dtype=np.float64)
     if array.ndim != 1:
         raise ValueError(f"expected a 1-D sequence, got shape {array.shape}")
     if array.size and not np.isfinite(array).all():
         raise ValueError("values must be finite (no NaN or inf)")
     return array
+
+
+def as_stream_batch(values) -> np.ndarray:
+    """Coerce any iterable of stream points to a validated 1-D float array."""
+    return _as_float_array(values)
 
 
 class PrefixSums:
@@ -156,8 +163,65 @@ class SlidingPrefixSums:
         self._total_seen += 1
 
     def extend(self, values) -> None:
-        for value in values:
-            self.append(value)
+        """Slide the window forward by a whole batch (vectorized).
+
+        Equivalent to ``append`` per value, but the cumulative arrays are
+        advanced with one ``cumsum`` per segment and the ring is written
+        with one fancy-index assignment, so the per-point Python overhead
+        is amortized across the batch.
+        """
+        unchecked = (
+            isinstance(values, np.ndarray)
+            and values.dtype == np.float64
+            and values.ndim == 1
+        )
+        array = values if unchecked else _as_float_array(values)
+        if array.size < 16:
+            # Below this size the fixed cost of the vectorized path exceeds
+            # the scalar loop; `append` validates each point itself and
+            # ingestion is identical either way.
+            append = self.append
+            for value in array.tolist():
+                append(value)
+            return
+        if unchecked:
+            # One reduction instead of an elementwise isfinite pass: any NaN
+            # or +/-inf in the batch makes the sum non-finite.  +inf and -inf
+            # together yield NaN inside the reduction, which numpy would warn
+            # about even though rejection is exactly the point.
+            with np.errstate(invalid="ignore"):
+                total = float(np.sum(array))
+            if not math.isfinite(total):
+                raise ValueError("values must be finite (no NaN or inf)")
+        capacity = self._capacity
+        start = 0
+        while start < array.size:
+            if self._filled == 2 * capacity:
+                self._rebase()
+            room = 2 * capacity - self._filled
+            chunk = array[start : start + room]
+            head = self._filled
+            count = chunk.size
+            # Accumulate in place over [running total, chunk...] so the
+            # rounding matches per-point `append` bit for bit (same
+            # associativity), without allocating temporaries.
+            seg = self._cum_sum[head : head + 1 + count]
+            seg[1:] = chunk
+            np.add.accumulate(seg, out=seg)
+            seg = self._cum_sqsum[head : head + 1 + count]
+            np.multiply(chunk, chunk, out=seg[1:])
+            np.add.accumulate(seg, out=seg)
+            # Ring update: only the last `capacity` chunk values can survive,
+            # written as at most two contiguous slices.
+            write = chunk if count <= capacity else chunk[count - capacity :]
+            pos = (self._total_seen + count - write.size) % capacity
+            first = min(write.size, capacity - pos)
+            self._ring[pos : pos + first] = write[:first]
+            if write.size > first:
+                self._ring[: write.size - first] = write[first:]
+            self._filled += count
+            self._total_seen += count
+            start += count
 
     def _rebase(self) -> None:
         """Drop cumulative entries that precede the current window."""

@@ -9,6 +9,11 @@ a *reference* window ending ``lag`` points ago and the *current* window
 the distance between the two synopses spikes above an adaptive threshold,
 a change is reported.
 
+Both windows are :mod:`repro.runtime` maintainers (the reference wrapped
+in a :class:`~repro.runtime.adapters.DelayedMaintainer` that lags the
+stream), driven by one :class:`~repro.runtime.pipeline.StreamPipeline`
+whose checkpoint callback scores the synopsis distance.
+
 Comparing B-bucket synopses instead of raw windows keeps the detector's
 per-checkpoint cost independent of the window length and inherits the
 (1 + eps) fidelity guarantee of the synopses.
@@ -20,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.fixed_window import FixedWindowHistogramBuilder
+from ..runtime import DelayedMaintainer, StreamPipeline, make_maintainer
 from .distances import histogram_l2
 
 __all__ = ["ChangeEvent", "HistogramChangeDetector"]
@@ -86,13 +91,30 @@ class HistogramChangeDetector:
         self.sensitivity = sensitivity
         self.check_every = check_every
         self.cooldown = window_size if cooldown is None else cooldown
-        self._current = FixedWindowHistogramBuilder(window_size, num_buckets, epsilon)
-        self._reference = FixedWindowHistogramBuilder(window_size, num_buckets, epsilon)
-        self._delay: list[float] = []
-        self._seen = 0
+
+        def _builder(name: str):
+            return make_maintainer(
+                "fixed_window",
+                window_size=window_size,
+                num_buckets=num_buckets,
+                epsilon=epsilon,
+                name=name,
+            )
+
+        self._current = _builder("current")
+        # The reference maintainer sees the stream delayed by `lag` points.
+        self._reference = DelayedMaintainer(_builder("reference"), lag=self.lag)
+        self._pipeline = StreamPipeline(
+            [self._current, self._reference],
+            maintain_every=None,  # lazy builders rebuild at checkpoints
+            checkpoint_every=check_every,
+            warmup=window_size + self.lag,
+            on_checkpoint=self._checkpoint,
+        )
         self._scores: list[float] = []
         self._history = history
         self._last_event = -(10**18)
+        self._fired_now: ChangeEvent | None = None
         self.events: list[ChangeEvent] = []
 
     def _threshold(self) -> float:
@@ -100,42 +122,31 @@ class HistogramChangeDetector:
             return float("inf")
         return self.sensitivity * float(np.median(self._scores)) + 1e-9
 
-    def update(self, value: float) -> ChangeEvent | None:
-        """Consume one point; return a :class:`ChangeEvent` if one fired."""
-        value = float(value)
-        self._seen += 1
-        self._current.append(value)
-        # The reference builder sees the stream delayed by `lag` points.
-        self._delay.append(value)
-        if len(self._delay) > self.lag:
-            self._reference.append(self._delay.pop(0))
-
-        ready = (
-            self._seen >= self.window_size + self.lag
-            and self._seen % self.check_every == 0
-        )
-        if not ready:
-            return None
-
-        score = histogram_l2(self._current.histogram(), self._reference.histogram())
+    def _checkpoint(self, position: int, pipeline: StreamPipeline) -> None:
+        score = histogram_l2(self._current.synopsis(), self._reference.synopsis())
         threshold = self._threshold()
-        event: ChangeEvent | None = None
         if (
             score > threshold
-            and self._seen - self._last_event >= self.cooldown
+            and position - self._last_event >= self.cooldown
             and len(self._scores) >= 4
         ):
-            event = ChangeEvent(self._seen, score, threshold)
+            event = ChangeEvent(position, score, threshold)
             self.events.append(event)
-            self._last_event = self._seen
+            self._fired_now = event
+            self._last_event = position
         # Feed the baseline afterwards so the spike does not mask itself.
         self._scores.append(score)
         if len(self._scores) > self._history:
             self._scores.pop(0)
-        return event
+
+    def update(self, value: float) -> ChangeEvent | None:
+        """Consume one point; return a :class:`ChangeEvent` if one fired."""
+        self._fired_now = None
+        self._pipeline.append(value)
+        return self._fired_now
 
     def run(self, stream) -> list[ChangeEvent]:
-        """Consume a whole stream; return every event fired."""
-        for value in stream:
-            self.update(value)
+        """Consume a whole stream (batched); return every event fired."""
+        self._fired_now = None
+        self._pipeline.run(stream)
         return list(self.events)

@@ -4,9 +4,12 @@ Section 1: "network operators commonly pose queries, requesting the
 aggregate number of bytes over network interfaces for time windows of
 interest" -- standing queries, re-evaluated as the stream advances.  A
 :class:`ContinuousQueryEngine` owns one fixed-window histogram maintainer
-and a set of registered :class:`StandingQuery` objects; each checkpoint
-answers every query from the synopsis alone (never the raw buffer) and
-fires :class:`Alert` records when a threshold predicate flips.
+(resolved through the :mod:`repro.runtime` registry) and a set of
+registered :class:`StandingQuery` objects; each checkpoint answers every
+query from the synopsis alone (never the raw buffer) and fires
+:class:`Alert` records when a threshold predicate flips.  The stream is
+consumed by a :class:`~repro.runtime.pipeline.StreamPipeline` whose
+checkpoint callback does the evaluation.
 
 The synopsis is what makes this cheap: k standing queries cost
 ``O(k * B)`` per checkpoint regardless of the window length.
@@ -18,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.fixed_window import FixedWindowHistogramBuilder
+from ..runtime import StreamPipeline, make_maintainer
 from .queries import RangeQuery
 
 __all__ = ["StandingQuery", "Alert", "ContinuousQueryEngine"]
@@ -96,15 +100,26 @@ class ContinuousQueryEngine:
         self.check_every = check_every
         self.keep_history = keep_history
         self.on_alert = on_alert
-        self._builder = FixedWindowHistogramBuilder(
-            window_size, num_buckets, epsilon
+        self._maintainer = make_maintainer(
+            "fixed_window",
+            window_size=window_size,
+            num_buckets=num_buckets,
+            epsilon=epsilon,
+        )
+        self._pipeline = StreamPipeline(
+            [self._maintainer],
+            maintain_every=None,  # the lazy builder rebuilds at checkpoints
+            checkpoint_every=check_every,
+            warmup=window_size,
+            on_checkpoint=self._checkpoint,
         )
         self._states: dict[str, _QueryState] = {}
         self.alerts: list[Alert] = []
+        self._fired_now: list[Alert] = []
 
     @property
     def builder(self) -> FixedWindowHistogramBuilder:
-        return self._builder
+        return self._maintainer.builder
 
     def register(self, query: StandingQuery) -> None:
         """Add a standing query (names must be unique)."""
@@ -137,14 +152,8 @@ class ContinuousQueryEngine:
             raise KeyError(f"no query named {name!r}")
         return self._states[name].last_answer
 
-    def update(self, value: float) -> list[Alert]:
-        """Consume one point; return alerts fired at this checkpoint."""
-        self._builder.append(value)
-        position = self._builder.total_seen
-        if position < self.window_size or position % self.check_every != 0:
-            return []
-        histogram = self._builder.histogram()
-        fired: list[Alert] = []
+    def _checkpoint(self, position: int, pipeline: StreamPipeline) -> None:
+        histogram = self._maintainer.synopsis()
         for state in self._states.values():
             answer = state.query.to_query().answer(histogram)
             state.last_answer = answer
@@ -157,15 +166,20 @@ class ContinuousQueryEngine:
                 alert = Alert(
                     state.query.name, position, answer, state.query.threshold
                 )
-                fired.append(alert)
+                self._fired_now.append(alert)
                 self.alerts.append(alert)
                 if self.on_alert is not None:
                     self.on_alert(alert)
             state.breached = breached
-        return fired
+
+    def update(self, value: float) -> list[Alert]:
+        """Consume one point; return alerts fired at this checkpoint."""
+        self._fired_now = []
+        self._pipeline.append(value)
+        return self._fired_now
 
     def run(self, stream) -> list[Alert]:
-        """Consume a whole stream; return every alert fired."""
-        for value in stream:
-            self.update(value)
+        """Consume a whole stream (batched); return every alert fired."""
+        self._fired_now = []
+        self._pipeline.run(stream)
         return list(self.alerts)

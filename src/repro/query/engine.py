@@ -1,8 +1,7 @@
 """Streaming approximate-query engine (the paper's section 5.1 setting).
 
-A :class:`SynopsisMaintainer` consumes stream points and can produce, at
-any time, a synopsis of the last ``window_size`` points.  Three
-maintainers cover the compared methods of Figure 6:
+The engine's maintainers are :mod:`repro.runtime` adapters -- three cover
+the compared methods of Figure 6:
 
 * :class:`HistogramMaintainer` -- the paper's fixed-window histogram,
   maintained incrementally.
@@ -12,21 +11,23 @@ maintainers cover the compared methods of Figure 6:
 * :class:`ExactMaintainer` -- the raw buffer itself (zero error,
   reference answers).
 
-:class:`StreamQueryEngine` drives maintainers over a stream and measures
-query accuracy at a configurable cadence.
+:class:`StreamQueryEngine` measures query accuracy at a configurable
+cadence; the driving loop itself is
+:class:`~repro.runtime.pipeline.StreamPipeline`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol
 
-import numpy as np
-
-from ..core.fixed_window import FixedWindowHistogramBuilder
-from ..streams.window import SlidingWindow
-from ..wavelets.synopsis import WaveletSynopsis
+from ..runtime import (
+    BufferSynopsis,
+    ExactBufferMaintainer,
+    FixedWindowMaintainer,
+    StreamPipeline,
+    WaveletWindowMaintainer,
+)
 from .accuracy import QueryAccuracy, measure_accuracy
 from .queries import Synopsis
 from .workload import RandomRangeWorkload
@@ -40,96 +41,56 @@ __all__ = [
     "StreamQueryEngine",
 ]
 
+# Back-compat alias: the engine's buffer synopsis now lives in the runtime
+# layer.
+_BufferSynopsis = BufferSynopsis
+
 
 class SynopsisMaintainer(Protocol):
-    """Incrementally maintained synopsis of a sliding window."""
+    """Incrementally maintained synopsis of a sliding window.
+
+    The runtime :class:`~repro.runtime.maintainer.Maintainer` ABC
+    satisfies this protocol; it is kept for structural typing of
+    third-party maintainers passed to :class:`StreamQueryEngine`.
+    """
 
     name: str
 
     def append(self, value: float) -> None: ...
+
+    def extend(self, values) -> None: ...
+
+    def maintain(self) -> None: ...
 
     def synopsis(self) -> Synopsis: ...
 
     def window_values(self): ...
 
 
-class HistogramMaintainer:
+class HistogramMaintainer(FixedWindowMaintainer):
     """Fixed-window epsilon-approximate V-optimal histogram maintainer."""
 
     def __init__(self, window_size: int, num_buckets: int, epsilon: float) -> None:
-        self.name = f"histogram(B={num_buckets}, eps={epsilon:g})"
-        self._builder = FixedWindowHistogramBuilder(window_size, num_buckets, epsilon)
-
-    @property
-    def builder(self) -> FixedWindowHistogramBuilder:
-        return self._builder
-
-    def append(self, value: float) -> None:
-        self._builder.append(value)
-
-    def maintain(self) -> None:
-        """Force the per-arrival rebuild (paper-faithful maintenance)."""
-        self._builder.update()
-
-    def synopsis(self) -> Synopsis:
-        return self._builder.histogram()
-
-    def window_values(self):
-        return self._builder.window_values()
+        super().__init__(
+            window_size,
+            num_buckets,
+            epsilon,
+            name=f"histogram(B={num_buckets}, eps={epsilon:g})",
+        )
 
 
-class WaveletMaintainer:
+class WaveletMaintainer(WaveletWindowMaintainer):
     """Top-B wavelet synopsis recomputed from the buffered window."""
 
     def __init__(self, window_size: int, budget: int) -> None:
-        self.name = f"wavelet(B={budget})"
-        self.budget = budget
-        self._window = SlidingWindow(window_size)
-
-    def append(self, value: float) -> None:
-        self._window.append(value)
-
-    def maintain(self) -> None:
-        """Per-slide recomputation, as the paper's baseline does."""
-        self.synopsis()
-
-    def synopsis(self) -> Synopsis:
-        return WaveletSynopsis.from_values(self._window.values(), self.budget)
-
-    def window_values(self):
-        return self._window.values()
+        super().__init__(window_size, budget, name=f"wavelet(B={budget})")
 
 
-class ExactMaintainer:
+class ExactMaintainer(ExactBufferMaintainer):
     """The raw sliding buffer, answering queries exactly."""
 
     def __init__(self, window_size: int) -> None:
-        self.name = "exact"
-        self._window = SlidingWindow(window_size)
-
-    def append(self, value: float) -> None:
-        self._window.append(value)
-
-    def maintain(self) -> None:
-        return None
-
-    def synopsis(self) -> Synopsis:
-        return _BufferSynopsis(self._window.values())
-
-    def window_values(self):
-        return self._window.values()
-
-
-class _BufferSynopsis:
-    def __init__(self, values) -> None:
-        self._values = np.asarray(values, dtype=np.float64)
-        self._cumulative = np.concatenate(([0.0], np.cumsum(self._values)))
-
-    def point_estimate(self, position: int) -> float:
-        return float(self._values[position])
-
-    def range_sum(self, i: int, j: int) -> float:
-        return float(self._cumulative[j + 1] - self._cumulative[i])
+        super().__init__(window_size, name="exact")
 
 
 @dataclass
@@ -165,6 +126,11 @@ class StreamQueryEngine:
     ``evaluate_every`` controls how often a fresh random workload of
     ``queries_per_evaluation`` range-sum queries is scored against the
     exact window.  Evaluation only starts once the window is full.
+
+    The stream is consumed by a :class:`StreamPipeline`: batches are
+    split at maintenance/evaluation boundaries and fed through each
+    maintainer's vectorized ``extend``, so cadence semantics match the
+    per-point loop exactly while ingestion amortizes across batches.
     """
 
     def __init__(
@@ -194,22 +160,22 @@ class StreamQueryEngine:
             self.window_size, aggregate=self.aggregate, seed=self.seed
         )
         reports = [EngineReport(m.name, 0.0) for m in maintainers]
-        arrivals = 0
-        for value in stream:
-            arrivals += 1
-            for maintainer, report in zip(maintainers, reports):
-                started = time.perf_counter()
-                maintainer.append(value)
-                if arrivals % self.maintain_every == 0:
-                    maintainer.maintain()
-                report.maintenance_seconds += time.perf_counter() - started
 
-            full = arrivals >= self.window_size
-            if full and arrivals % self.evaluate_every == 0:
-                queries = workload.sample(self.queries_per_evaluation)
-                for maintainer, report in zip(maintainers, reports):
-                    truth = maintainer.window_values()
-                    report.evaluations.append(
-                        measure_accuracy(maintainer.synopsis(), truth, queries)
-                    )
+        def evaluate(arrivals: int, pipeline: StreamPipeline) -> None:
+            queries = workload.sample(self.queries_per_evaluation)
+            for maintainer, report in zip(maintainers, reports):
+                truth = maintainer.window_values()
+                report.evaluations.append(
+                    measure_accuracy(maintainer.synopsis(), truth, queries)
+                )
+
+        pipeline = StreamPipeline(
+            maintainers,
+            maintain_every=self.maintain_every,
+            checkpoint_every=self.evaluate_every,
+            warmup=self.window_size,
+            on_checkpoint=evaluate,
+        )
+        for pipeline_report, report in zip(pipeline.run(stream), reports):
+            report.maintenance_seconds = pipeline_report.maintenance_seconds
         return reports

@@ -1,0 +1,44 @@
+"""repro.runtime -- the unified synopsis-maintenance layer.
+
+One interface (:class:`Maintainer`), one registry
+(:func:`make_maintainer`), one driving loop (:class:`StreamPipeline`).
+The query engines, the warehouse streaming summaries, change detection,
+subsequence indexing and the Figure-6 benchmarks all maintain their
+synopses through this layer; see ``docs/API.md`` ("Runtime layer").
+"""
+
+from .adapters import (
+    AgglomerativeMaintainer,
+    BufferSynopsis,
+    DelayedMaintainer,
+    DynamicWaveletMaintainer,
+    EquiDepthMaintainer,
+    ExactBufferMaintainer,
+    FixedWindowMaintainer,
+    GKQuantileMaintainer,
+    ReservoirMaintainer,
+    WaveletWindowMaintainer,
+)
+from .maintainer import Maintainer, MaintainerStats
+from .pipeline import PipelineReport, StreamPipeline
+from .registry import available_maintainers, make_maintainer, register_maintainer
+
+__all__ = [
+    "AgglomerativeMaintainer",
+    "BufferSynopsis",
+    "DelayedMaintainer",
+    "DynamicWaveletMaintainer",
+    "EquiDepthMaintainer",
+    "ExactBufferMaintainer",
+    "FixedWindowMaintainer",
+    "GKQuantileMaintainer",
+    "Maintainer",
+    "MaintainerStats",
+    "PipelineReport",
+    "ReservoirMaintainer",
+    "StreamPipeline",
+    "WaveletWindowMaintainer",
+    "available_maintainers",
+    "make_maintainer",
+    "register_maintainer",
+]

@@ -1,0 +1,159 @@
+"""The uniform synopsis-maintenance interface of the runtime layer.
+
+Every incrementally maintained summary in this repo -- fixed-window and
+agglomerative histograms, wavelet synopses, GK quantiles, exact buffers --
+is driven the same way: feed stream points, occasionally bring the
+synopsis up to date, answer queries from it.  :class:`Maintainer` is that
+contract, stated once:
+
+* ``append(value)`` / ``extend(values)`` -- ingestion.  ``extend`` is the
+  batched fast path: adapters forward whole numpy batches to vectorized
+  backend ingestion where the backend allows, amortizing per-point Python
+  overhead across the batch.
+* ``maintain()`` -- bring the synopsis up to date (a rebuild for the
+  fixed-window builder, a recomputation for the per-slide wavelet
+  baseline, a no-op for always-fresh structures).
+* ``synopsis()`` -- the current queryable summary.
+* ``stats()`` -- a :class:`MaintainerStats` snapshot unifying the
+  ``RebuildStats``-style telemetry (points, rebuilds, HERROR evaluations,
+  search probes, wall time) across backends.
+
+Concrete adapters live in :mod:`repro.runtime.adapters`; the string-keyed
+factory in :mod:`repro.runtime.registry`; the driving loop in
+:mod:`repro.runtime.pipeline`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.prefix import as_stream_batch
+
+__all__ = ["Maintainer", "MaintainerStats"]
+
+
+@dataclass
+class MaintainerStats:
+    """Unified telemetry counters of one maintainer.
+
+    ``points``/``batches`` count ingestion, ``maintains`` the explicit
+    maintenance calls, ``rebuilds`` the backend rebuilds that actually
+    happened (lazy backends skip maintenance when nothing changed).
+    ``herror_evaluations`` and ``search_probes`` surface the fixed-window
+    builder's Theorem-1 operation counts; backends without that machinery
+    leave them at zero.  Wall time is split into ingestion and maintenance
+    so cadence experiments can attribute cost.
+    """
+
+    points: int = 0
+    batches: int = 0
+    maintains: int = 0
+    rebuilds: int = 0
+    herror_evaluations: int = 0
+    search_probes: int = 0
+    ingest_seconds: float = 0.0
+    maintain_seconds: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        """Total wall time spent in this maintainer."""
+        return self.ingest_seconds + self.maintain_seconds
+
+    def counters(self) -> dict[str, int]:
+        """The timing-free counters (the deterministic part of the stats).
+
+        Batched and one-at-a-time ingestion of the same stream at the same
+        maintenance positions must agree on these exactly; wall times and
+        the batch count naturally differ.
+        """
+        return {
+            "points": self.points,
+            "maintains": self.maintains,
+            "rebuilds": self.rebuilds,
+            "herror_evaluations": self.herror_evaluations,
+            "search_probes": self.search_probes,
+        }
+
+
+class Maintainer(ABC):
+    """Incrementally maintained synopsis with uniform ingestion and stats.
+
+    Subclasses implement ``_ingest_batch`` (and optionally the cheaper
+    ``_ingest_one``), ``_maintain``, ``synopsis`` and, where a raw window
+    exists, ``window_values``.  The public verbs wrap those hooks with
+    timing and counting so every backend reports comparable telemetry.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._stats = MaintainerStats()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def append(self, value: float) -> None:
+        """Consume one stream point."""
+        started = time.perf_counter()
+        self._ingest_one(float(value))
+        self._stats.ingest_seconds += time.perf_counter() - started
+        self._stats.points += 1
+        self._stats.batches += 1
+
+    def extend(self, values) -> None:
+        """Consume a whole batch of stream points (the fast path)."""
+        batch = values if isinstance(values, np.ndarray) else as_stream_batch(values)
+        if batch.size == 0:
+            return
+        started = time.perf_counter()
+        self._ingest_batch(batch)
+        self._stats.ingest_seconds += time.perf_counter() - started
+        self._stats.points += batch.size
+        self._stats.batches += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance and queries
+    # ------------------------------------------------------------------
+
+    def maintain(self) -> None:
+        """Bring the synopsis up to date with everything ingested."""
+        started = time.perf_counter()
+        self._maintain()
+        self._stats.maintain_seconds += time.perf_counter() - started
+        self._stats.maintains += 1
+
+    @abstractmethod
+    def synopsis(self):
+        """The current queryable summary."""
+
+    def window_values(self) -> np.ndarray:
+        """Raw buffered window (only maintainers that keep one)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not buffer a raw window"
+        )
+
+    def stats(self) -> MaintainerStats:
+        """A snapshot of the unified telemetry counters."""
+        self._refresh_stats()
+        return replace(self._stats)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+
+    def _ingest_one(self, value: float) -> None:
+        self._ingest_batch(np.asarray([value], dtype=np.float64))
+
+    @abstractmethod
+    def _ingest_batch(self, batch: np.ndarray) -> None:
+        """Feed a validated 1-D float batch into the backend."""
+
+    def _maintain(self) -> None:
+        """Backend maintenance; default is a no-op (always-fresh synopses)."""
+
+    def _refresh_stats(self) -> None:
+        """Pull backend-specific counters into ``self._stats``."""

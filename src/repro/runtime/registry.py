@@ -1,0 +1,94 @@
+"""String-keyed maintainer registry.
+
+Benchmarks and engines select synopsis backends by configuration instead
+of imports::
+
+    from repro.runtime import make_maintainer
+
+    maintainer = make_maintainer(
+        "fixed_window", window_size=1024, num_buckets=16, epsilon=0.1
+    )
+
+New backends register with :func:`register_maintainer`, either as a
+decorator on a :class:`~repro.runtime.maintainer.Maintainer` subclass or
+with an explicit factory callable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .adapters import (
+    AgglomerativeMaintainer,
+    DynamicWaveletMaintainer,
+    EquiDepthMaintainer,
+    ExactBufferMaintainer,
+    FixedWindowMaintainer,
+    GKQuantileMaintainer,
+    ReservoirMaintainer,
+    WaveletWindowMaintainer,
+)
+from .maintainer import Maintainer
+
+__all__ = ["register_maintainer", "make_maintainer", "available_maintainers"]
+
+_REGISTRY: dict[str, Callable[..., Maintainer]] = {}
+
+
+def register_maintainer(name: str, factory: Callable[..., Maintainer] | None = None):
+    """Register a maintainer factory under ``name``.
+
+    Usable directly (``register_maintainer("exact", ExactBufferMaintainer)``)
+    or as a class decorator.  Re-registering a taken name is an error;
+    registries that silently overwrite hide configuration typos.
+    """
+    if not name or not name.replace("_", "").isalnum():
+        raise ValueError(f"invalid maintainer name {name!r}")
+
+    def _register(factory: Callable[..., Maintainer]):
+        if name in _REGISTRY:
+            raise ValueError(f"maintainer {name!r} is already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def make_maintainer(name: str, /, **kwargs) -> Maintainer:
+    """Instantiate the maintainer registered under ``name``.
+
+    Keyword arguments are forwarded to the backend's constructor, so a
+    config dict maps straight onto a maintainer:
+    ``make_maintainer(spec["backend"], **spec["params"])``.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"no maintainer registered under {name!r}; available: {known}"
+        ) from None
+    maintainer = factory(**kwargs)
+    if not isinstance(maintainer, Maintainer):
+        raise TypeError(
+            f"factory for {name!r} returned {type(maintainer).__name__}, "
+            "not a Maintainer"
+        )
+    return maintainer
+
+
+def available_maintainers() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+register_maintainer("fixed_window", FixedWindowMaintainer)
+register_maintainer("agglomerative", AgglomerativeMaintainer)
+register_maintainer("wavelet", WaveletWindowMaintainer)
+register_maintainer("dynamic_wavelet", DynamicWaveletMaintainer)
+register_maintainer("gk_quantiles", GKQuantileMaintainer)
+register_maintainer("equi_depth", EquiDepthMaintainer)
+register_maintainer("reservoir", ReservoirMaintainer)
+register_maintainer("exact", ExactBufferMaintainer)

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.bucket import Histogram
-from ..core.fixed_window import FixedWindowHistogramBuilder
+from ..runtime import StreamPipeline, make_maintainer
 from .distance import euclidean, lower_bound_distance, znormalize
 from .features import Reducer
 
@@ -92,13 +92,25 @@ class SubsequenceIndex:
         index.normalize = False
         index._offsets = []
         index._representations = []
-        builder = FixedWindowHistogramBuilder(window_length, num_buckets, epsilon)
-        for position, value in enumerate(values):
-            builder.append(value)
-            offset = position - window_length + 1
-            if offset >= 0 and offset % stride == 0:
-                index._offsets.append(offset)
-                index._representations.append(builder.histogram())
+        maintainer = make_maintainer(
+            "fixed_window",
+            window_size=window_length,
+            num_buckets=num_buckets,
+            epsilon=epsilon,
+        )
+
+        def snapshot(arrivals: int, pipeline: StreamPipeline) -> None:
+            index._offsets.append(arrivals - window_length)
+            index._representations.append(maintainer.synopsis())
+
+        StreamPipeline(
+            [maintainer],
+            maintain_every=None,  # the lazy builder rebuilds at each snapshot
+            checkpoint_every=stride,
+            warmup=window_length,
+            checkpoint_alignment="warmup",
+            on_checkpoint=snapshot,
+        ).run(values)
         return index
 
     def __len__(self) -> int:

@@ -65,6 +65,11 @@ class GKQuantileSummary:
         if self._count % self._compress_period == 0:
             self._compress()
 
+    # Uniform ingestion naming across synopsis structures: `append` is the
+    # one-point verb, `extend` the batch verb; `insert` stays the primary
+    # name here to match the GK literature.
+    append = insert
+
     def extend(self, values) -> None:
         for value in values:
             self.insert(value)

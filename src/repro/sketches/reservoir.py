@@ -45,6 +45,9 @@ class ReservoirSample:
         if slot < self._capacity:
             self._sample[slot] = float(value)
 
+    # Uniform ingestion naming: `append` is the one-point verb everywhere.
+    append = insert
+
     def extend(self, values) -> None:
         for value in values:
             self.insert(value)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.prefix import as_stream_batch
+
 __all__ = ["SlidingWindow"]
 
 
@@ -49,8 +51,17 @@ class SlidingWindow:
         return evicted
 
     def extend(self, values) -> None:
-        for value in values:
-            self.append(value)
+        """Append a whole batch (vectorized; evicted points are dropped).
+
+        Only the last ``capacity`` points of the batch can survive, so the
+        ring is written with one fancy-index assignment over that tail.
+        """
+        array = as_stream_batch(values)
+        tail = array[-self._capacity :]
+        skipped = array.size - tail.size
+        slots = (self._total_seen + skipped + np.arange(tail.size)) % self._capacity
+        self._ring[slots] = tail
+        self._total_seen += array.size
 
     def __getitem__(self, index: int) -> float:
         """Window-relative access: 0 is the oldest buffered point."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.bucket import Bucket, Histogram
+from ..core.prefix import as_stream_batch
 from ..sketches.gk import GKQuantileSummary
 from ..wavelets.dynamic import DynamicWaveletHistogram
 
@@ -50,9 +51,25 @@ class StreamingEquiDepthSummary:
         self._summary.insert(float(value))
         self._max_value = max(self._max_value, int(round(value)))
 
+    # Uniform ingestion naming: `append` is the one-point verb everywhere.
+    append = insert
+
     def extend(self, values) -> None:
-        for value in values:
-            self.insert(value)
+        """Insert a whole batch of rows.
+
+        Non-negativity is validated once per batch on the numpy array (the
+        GK insertions themselves are inherently sequential); the running
+        domain maximum is also updated once.
+        """
+        array = as_stream_batch(values)
+        if array.size == 0:
+            return
+        if float(array.min()) < 0:
+            raise ValueError("attribute values must be non-negative")
+        summary_insert = self._summary.insert
+        for value in array.tolist():
+            summary_insert(value)
+        self._max_value = max(self._max_value, int(round(float(array.max()))))
 
     def histogram(self) -> Histogram:
         """Equi-depth histogram over the value domain ``[0, max]``.
@@ -110,12 +127,14 @@ class StreamingWaveletSummary:
     def insert(self, value: float) -> None:
         self._dynamic.insert(int(round(value)))
 
+    append = insert
+
     def delete(self, value: float) -> None:
         self._dynamic.delete(int(round(value)))
 
     def extend(self, values) -> None:
-        for value in values:
-            self.insert(value)
+        for value in as_stream_batch(values).round().astype(int).tolist():
+            self._dynamic.insert(value)
 
     def estimate_count(self, low: float, high: float) -> float:
         if len(self._dynamic) == 0:

@@ -73,6 +73,9 @@ class DynamicWaveletHistogram:
         self._update(int(value), 1.0)
         self._count += 1
 
+    # Uniform ingestion naming: `append` is the one-point verb everywhere.
+    append = insert
+
     def delete(self, value: int) -> None:
         """One row with attribute ``value`` is removed."""
         if self._count == 0:

@@ -149,3 +149,71 @@ class TestAlerts:
         names = [alert.query_name for alert in engine.alerts]
         assert "recent" in names
         assert "whole" not in names
+
+
+class TestMigrationFaithful:
+    """The engine's pipeline-driven loop must reproduce the hand-rolled
+    per-point loop it replaced: same checkpoint positions, same answers,
+    same edge-triggered alerts."""
+
+    def test_alerts_match_reference_loop(self):
+        from repro.core.fixed_window import FixedWindowHistogramBuilder
+        from repro.query.queries import RangeQuery
+
+        window, check_every = 24, 5
+        rng = np.random.default_rng(17)
+        stream = np.concatenate([
+            rng.uniform(10.0, 20.0, 60),
+            rng.uniform(80.0, 90.0, 40),
+            rng.uniform(10.0, 20.0, 47),
+        ])
+        queries = [
+            StandingQuery("hot", 0, 23, threshold=24 * 50.0),
+            StandingQuery("head", 0, 7, aggregate="avg", threshold=40.0),
+            StandingQuery("cool", 8, 15, threshold=8 * 45.0, above=False),
+        ]
+
+        # Hand-rolled reference: append per point, evaluate at checkpoints.
+        builder = FixedWindowHistogramBuilder(window, 4, 0.25)
+        breached = {q.name: False for q in queries}
+        expected = []
+        for position, value in enumerate(stream, start=1):
+            builder.append(float(value))
+            if position < window or position % check_every != 0:
+                continue
+            histogram = builder.histogram()
+            for query in queries:
+                answer = RangeQuery(query.start, query.end, query.aggregate).answer(
+                    histogram
+                )
+                now = query.breaches(answer)
+                if now and not breached[query.name]:
+                    expected.append((query.name, position, answer))
+                breached[query.name] = now
+
+        engine = ContinuousQueryEngine(
+            window, num_buckets=4, epsilon=0.25, check_every=check_every
+        )
+        for query in queries:
+            engine.register(query)
+        alerts = engine.run(stream)
+        assert [(a.query_name, a.position, a.answer) for a in alerts] == expected
+
+    def test_run_equals_per_point_updates(self):
+        rng = np.random.default_rng(23)
+        stream = rng.uniform(0.0, 100.0, 200)
+        query = StandingQuery("q", 0, 15, threshold=800.0)
+
+        batched = ContinuousQueryEngine(16, num_buckets=4, epsilon=0.5,
+                                        check_every=3)
+        batched.register(query)
+        batched.run(stream)
+
+        stepped = ContinuousQueryEngine(16, num_buckets=4, epsilon=0.5,
+                                        check_every=3)
+        stepped.register(query)
+        fired = []
+        for value in stream:
+            fired.extend(stepped.update(value))
+        assert fired == stepped.alerts == batched.alerts
+        assert stepped.answers("q") == batched.answers("q")

@@ -115,3 +115,46 @@ class TestConstructionRoutesAgree:
             for route in (frequency_route, gk_route, wavelet_route):
                 estimate = route.estimate_count(low, high)
                 assert abs(estimate - exact) <= 0.15 * rows + 10
+
+
+class TestBatchedIngestion:
+    """Satellite of the runtime refactor: numpy batches, one validation."""
+
+    def test_equi_depth_extend_accepts_numpy_arrays(self):
+        column = warehouse_measure_column(400, seed=3)
+        from_list = StreamingEquiDepthSummary(8, epsilon=0.05)
+        from_list.extend(column.tolist())
+        from_array = StreamingEquiDepthSummary(8, epsilon=0.05)
+        from_array.extend(np.asarray(column))
+        assert from_array.histogram().to_dict() == from_list.histogram().to_dict()
+
+    def test_equi_depth_rejects_negative_batch_upfront(self):
+        summary = StreamingEquiDepthSummary(4)
+        summary.extend([1.0, 2.0, 3.0, 4.0])
+        before = len(summary)
+        with pytest.raises(ValueError, match="non-negative"):
+            summary.extend(np.array([5.0, -1.0, 6.0]))
+        # The batch is validated before any value is ingested.
+        assert len(summary) == before
+
+    def test_append_is_insert(self):
+        summary = StreamingEquiDepthSummary(4)
+        summary.append(2.0)
+        summary.insert(3.0)
+        assert len(summary) == 2
+        wavelet = StreamingWaveletSummary(domain_size=8, budget=4)
+        wavelet.append(1)
+        wavelet.insert(2)
+        assert len(wavelet) == 2
+
+    def test_wavelet_extend_accepts_numpy_arrays(self):
+        values = np.array([1.0, 3.0, 3.0, 7.0, 2.0])
+        from_array = StreamingWaveletSummary(domain_size=8, budget=4)
+        from_array.extend(values)
+        from_list = StreamingWaveletSummary(domain_size=8, budget=4)
+        from_list.extend([1, 3, 3, 7, 2])
+        assert len(from_array) == len(from_list) == 5
+        for low, high in ((0, 7), (2, 4), (3, 3)):
+            assert from_array.estimate_count(low, high) == from_list.estimate_count(
+                low, high
+            )
