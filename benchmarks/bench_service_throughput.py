@@ -1,0 +1,108 @@
+"""Service ingestion throughput and enqueue latency under concurrency.
+
+Measures the serving layer (:mod:`repro.service`) end to end: one
+producer thread per hosted stream pushes chunked points through the
+bounded queues while the per-stream workers drain them, for fleets of
+1 / 4 / 16 concurrent streams.  Reported per fleet size:
+
+* aggregate ingest throughput (points/second, submit-to-drained);
+* p50 / p99 enqueue latency (time a producer spent inside ``submit``).
+
+Standalone:  ``PYTHONPATH=src python benchmarks/bench_service_throughput.py``
+writes ``BENCH_service.json`` in the current directory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import threading
+import time
+
+from repro.datasets import att_utilization_stream
+from repro.service import StreamService
+
+STREAM_COUNTS = (1, 4, 16)
+POINTS_PER_STREAM = 40_000
+CHUNK = 512
+BACKEND = "gk_quantiles"
+PARAMS = {"epsilon": 0.05}
+MAINTAIN_EVERY = 64
+QUEUE_CAPACITY = 8_192
+
+
+def run_fleet(num_streams: int) -> dict:
+    """Ingest POINTS_PER_STREAM into each of ``num_streams`` streams."""
+    stream = att_utilization_stream(POINTS_PER_STREAM, seed=7)
+    with StreamService() as service:
+        names = [f"s{i}" for i in range(num_streams)]
+        for name in names:
+            service.create_stream(
+                name,
+                backend=BACKEND,
+                params=PARAMS,
+                maintain_every=MAINTAIN_EVERY,
+                queue_capacity=QUEUE_CAPACITY,
+            )
+
+        def produce(name: str) -> None:
+            for start in range(0, POINTS_PER_STREAM, CHUNK):
+                service.ingest(name, stream[start : start + CHUNK])
+
+        producers = [
+            threading.Thread(target=produce, args=(name,)) for name in names
+        ]
+        started = time.perf_counter()
+        for producer in producers:
+            producer.start()
+        for producer in producers:
+            producer.join()
+        service.flush()
+        elapsed = time.perf_counter() - started
+
+        stats = [service.stats(name) for name in names]
+        total_points = sum(s["ingested_points"] for s in stats)
+        assert total_points == num_streams * POINTS_PER_STREAM
+        return {
+            "streams": num_streams,
+            "points_per_stream": POINTS_PER_STREAM,
+            "total_points": total_points,
+            "seconds": elapsed,
+            "points_per_second": total_points / elapsed,
+            "enqueue_p50_seconds": max(s["enqueue_p50_seconds"] for s in stats),
+            "enqueue_p99_seconds": max(s["enqueue_p99_seconds"] for s in stats),
+            "max_queue_depth": max(s["max_queue_depth"] for s in stats),
+        }
+
+
+def main(output_path: str = "BENCH_service.json") -> dict:
+    results = []
+    for num_streams in STREAM_COUNTS:
+        result = run_fleet(num_streams)
+        results.append(result)
+        print(
+            f"{result['streams']:>3} streams: "
+            f"{result['points_per_second']:>12,.0f} points/s, "
+            f"p99 enqueue {result['enqueue_p99_seconds'] * 1e6:8.1f} us"
+        )
+    payload = {
+        "benchmark": "service_throughput",
+        "backend": BACKEND,
+        "params": PARAMS,
+        "maintain_every": MAINTAIN_EVERY,
+        "queue_capacity": QUEUE_CAPACITY,
+        "chunk": CHUNK,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": results,
+    }
+    with open(output_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output_path}")
+    return payload
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_service.json")

@@ -59,6 +59,11 @@ from .runtime import (
     make_maintainer,
     register_maintainer,
 )
+from .service import (
+    BackpressureError,
+    StreamService,
+    StreamSpec,
+)
 from .sketches import GKQuantileSummary, ReservoirSample
 from .streams import SlidingWindow
 from .similarity import SeriesIndex, SubsequenceIndex, VOptimalReducer, apca
@@ -75,6 +80,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AgglomerativeHistogramBuilder",
     "AttributeSummary",
+    "BackpressureError",
     "Bucket",
     "ContinuousQueryEngine",
     "FixedWindowHistogramBuilder",
@@ -99,6 +105,8 @@ __all__ = [
     "StreamingWaveletSummary",
     "StreamPipeline",
     "StreamQueryEngine",
+    "StreamService",
+    "StreamSpec",
     "SubsequenceIndex",
     "VOptimalReducer",
     "WaveletMaintainer",

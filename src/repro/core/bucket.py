@@ -143,6 +143,23 @@ class Histogram:
         """Estimate the average of values in positions ``[i, j]`` inclusive."""
         return self.range_sum(i, j) / (j - i + 1)
 
+    def quantile(self, fraction: float) -> float:
+        """Approximate ``fraction``-quantile of the summarized values.
+
+        Each bucket contributes ``size`` copies of its representative, so
+        the quantile is read off the value-sorted bucket list in
+        O(B log B) without reconstructing the sequence.
+        """
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("fraction must be in [0, 1]")
+        target = max(1, int(round(fraction * len(self))))
+        covered = 0
+        for bucket in sorted(self._buckets, key=lambda b: b.value):
+            covered += bucket.size
+            if covered >= target:
+                return bucket.value
+        return self._buckets[-1].value
+
     def to_array(self) -> np.ndarray:
         """Reconstruct the full approximate sequence."""
         out = np.empty(len(self), dtype=np.float64)

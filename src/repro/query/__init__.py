@@ -10,7 +10,13 @@ from .engine import (
     SynopsisMaintainer,
     WaveletMaintainer,
 )
-from .queries import PointQuery, RangeQuery, Synopsis, evaluate_exact
+from .queries import (
+    PointQuery,
+    RangeQuery,
+    Synopsis,
+    evaluate_exact,
+    synopsis_quantile,
+)
 from .workload import RandomPointWorkload, RandomRangeWorkload, position_weights
 
 __all__ = [
@@ -32,4 +38,5 @@ __all__ = [
     "evaluate_exact",
     "measure_accuracy",
     "position_weights",
+    "synopsis_quantile",
 ]

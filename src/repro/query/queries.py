@@ -14,7 +14,13 @@ from typing import Protocol
 
 import numpy as np
 
-__all__ = ["RangeQuery", "PointQuery", "Synopsis", "evaluate_exact"]
+__all__ = [
+    "RangeQuery",
+    "PointQuery",
+    "Synopsis",
+    "evaluate_exact",
+    "synopsis_quantile",
+]
 
 
 class Synopsis(Protocol):
@@ -81,3 +87,27 @@ class _ExactSynopsis:
 def evaluate_exact(query: RangeQuery | PointQuery, values) -> float:
     """Ground-truth answer of a query against raw values."""
     return query.answer(_ExactSynopsis(values))
+
+
+def synopsis_quantile(synopsis, fraction: float) -> float:
+    """Approximate quantile of the values a synopsis summarizes.
+
+    Dispatches on the synopsis's own vocabulary: GK summaries answer rank
+    queries natively (``query``), reservoirs estimate from the sample
+    (``estimate_quantile``), histograms read the quantile off their
+    buckets (``quantile``); anything else that can reconstruct its
+    sequence (``to_array``) falls back to the empirical quantile of the
+    reconstruction.
+    """
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError("fraction must be in [0, 1]")
+    for verb in ("query", "estimate_quantile", "quantile"):
+        answer = getattr(synopsis, verb, None)
+        if answer is not None:
+            return float(answer(fraction))
+    reconstruct = getattr(synopsis, "to_array", None)
+    if reconstruct is not None:
+        return float(np.quantile(reconstruct(), fraction))
+    raise TypeError(
+        f"{type(synopsis).__name__} answers neither rank nor value queries"
+    )

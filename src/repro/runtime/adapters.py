@@ -58,6 +58,23 @@ class BufferSynopsis:
     def range_average(self, i: int, j: int) -> float:
         return self.range_sum(i, j) / (j - i + 1)
 
+    def to_array(self) -> np.ndarray:
+        return self._values.copy()
+
+
+def _window_state(window: SlidingWindow) -> dict:
+    return {
+        "capacity": window.capacity,
+        "total_seen": window.total_seen,
+        "values": window.values().tolist(),
+    }
+
+
+def _restore_window(state: dict) -> SlidingWindow:
+    return SlidingWindow.restore(
+        int(state["capacity"]), state["values"], int(state["total_seen"])
+    )
+
 
 class FixedWindowMaintainer(Maintainer):
     """The paper's fixed-window (1+eps) V-optimal histogram (section 4.5).
@@ -124,6 +141,32 @@ class FixedWindowMaintainer(Maintainer):
         self._stats.search_probes = lifetime.search_probes
         self._stats.rebuilds = self._builder.rebuild_count
 
+    def _state_dict(self) -> dict:
+        lifetime = self._builder.lifetime_stats
+        return {
+            "builder": self._builder.to_state(),
+            "cache_synopsis": self._cache_synopsis,
+            "cached": self._cached.to_dict() if self._cached is not None else None,
+            # Lifetime telemetry is not part of the builder snapshot;
+            # carry it so stats stay continuous across a restore.
+            "rebuild_count": self._builder.rebuild_count,
+            "herror_evaluations": lifetime.herror_evaluations,
+            "search_probes": lifetime.search_probes,
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._builder = FixedWindowHistogramBuilder.from_state(state["builder"])
+        self._builder.rebuild_count = int(state.get("rebuild_count", 0))
+        self._builder.lifetime_stats.herror_evaluations = int(
+            state.get("herror_evaluations", 0)
+        )
+        self._builder.lifetime_stats.search_probes = int(
+            state.get("search_probes", 0)
+        )
+        self._cache_synopsis = bool(state.get("cache_synopsis", False))
+        cached = state.get("cached")
+        self._cached = Histogram.from_dict(cached) if cached is not None else None
+
 
 class AgglomerativeMaintainer(Maintainer):
     """The one-pass whole-prefix histogram builder (section 4.3)."""
@@ -150,6 +193,12 @@ class AgglomerativeMaintainer(Maintainer):
     def _refresh_stats(self) -> None:
         # The queues are maintained per point; rebuilds == points consumed.
         self._stats.rebuilds = len(self._builder)
+
+    def _state_dict(self) -> dict:
+        return {"builder": self._builder.to_state()}
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._builder = AgglomerativeHistogramBuilder.from_state(state["builder"])
 
 
 class WaveletWindowMaintainer(Maintainer):
@@ -188,6 +237,21 @@ class WaveletWindowMaintainer(Maintainer):
     def window_values(self) -> np.ndarray:
         return self._window.values()
 
+    def _state_dict(self) -> dict:
+        return {
+            "budget": self.budget,
+            "window": _window_state(self._window),
+            "cached": self._cached.to_dict() if self._cached is not None else None,
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        self.budget = int(state["budget"])
+        self._window = _restore_window(state["window"])
+        cached = state.get("cached")
+        self._cached = (
+            WaveletSynopsis.from_dict(cached) if cached is not None else None
+        )
+
 
 class ExactBufferMaintainer(Maintainer):
     """The raw sliding buffer itself: zero error, reference answers."""
@@ -207,6 +271,12 @@ class ExactBufferMaintainer(Maintainer):
 
     def window_values(self) -> np.ndarray:
         return self._window.values()
+
+    def _state_dict(self) -> dict:
+        return {"window": _window_state(self._window)}
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._window = _restore_window(state["window"])
 
 
 class DynamicWaveletMaintainer(Maintainer):
@@ -235,6 +305,13 @@ class DynamicWaveletMaintainer(Maintainer):
     def synopsis(self) -> WaveletSynopsis:
         return self._dynamic.synopsis(self.budget)
 
+    def _state_dict(self) -> dict:
+        return {"budget": self.budget, "histogram": self._dynamic.to_dict()}
+
+    def _load_state_dict(self, state: dict) -> None:
+        self.budget = int(state["budget"])
+        self._dynamic = DynamicWaveletHistogram.from_dict(state["histogram"])
+
 
 class GKQuantileMaintainer(Maintainer):
     """The Greenwald-Khanna quantile summary behind the uniform interface.
@@ -256,6 +333,12 @@ class GKQuantileMaintainer(Maintainer):
     def synopsis(self) -> GKQuantileSummary:
         return self._summary
 
+    def _state_dict(self) -> dict:
+        return {"summary": self._summary.to_dict()}
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._summary = GKQuantileSummary.from_dict(state["summary"])
+
 
 class EquiDepthMaintainer(Maintainer):
     """Streaming equi-depth histogram of a non-negative attribute."""
@@ -276,8 +359,21 @@ class EquiDepthMaintainer(Maintainer):
     def _ingest_batch(self, batch: np.ndarray) -> None:
         self._summary.extend(batch)
 
-    def synopsis(self) -> Histogram:
-        return self._summary.histogram()
+    def synopsis(self) -> StreamingEquiDepthSummary:
+        """The summary itself: it carries the distribution verbs.
+
+        Serving the summary (rather than the rendered
+        :meth:`~repro.warehouse.streaming.StreamingEquiDepthSummary.histogram`)
+        keeps ``estimate_quantile`` / ``estimate_count`` available to the
+        query layer; the histogram rendering stays one call away.
+        """
+        return self._summary
+
+    def _state_dict(self) -> dict:
+        return {"summary": self._summary.to_dict()}
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._summary = StreamingEquiDepthSummary.from_dict(state["summary"])
 
 
 class ReservoirMaintainer(Maintainer):
@@ -295,6 +391,12 @@ class ReservoirMaintainer(Maintainer):
 
     def synopsis(self) -> ReservoirSample:
         return self._sample
+
+    def _state_dict(self) -> dict:
+        return {"sample": self._sample.to_dict()}
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._sample = ReservoirSample.from_dict(state["sample"])
 
 
 class DelayedMaintainer(Maintainer):
@@ -342,3 +444,15 @@ class DelayedMaintainer(Maintainer):
     def delayed_points(self) -> Sequence[float]:
         """The points buffered but not yet forwarded (oldest first)."""
         return self._pending.tolist()
+
+    def _state_dict(self) -> dict:
+        return {
+            "lag": self.lag,
+            "pending": self._pending.tolist(),
+            "inner": self.inner.state_dict(),
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        self.lag = int(state["lag"])
+        self._pending = np.asarray(state["pending"], dtype=np.float64)
+        self.inner.load_state_dict(state["inner"])

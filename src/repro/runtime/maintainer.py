@@ -17,6 +17,11 @@ contract, stated once:
 * ``stats()`` -- a :class:`MaintainerStats` snapshot unifying the
   ``RebuildStats``-style telemetry (points, rebuilds, HERROR evaluations,
   search probes, wall time) across backends.
+* ``state_dict()`` / ``load_state_dict(state)`` -- durable checkpointing.
+  Every adapter serializes its backend through the synopsis's own
+  ``to_dict``/``to_state`` snapshot, so a maintainer restored into a
+  fresh process continues the stream exactly where the original left
+  off; :mod:`repro.service` builds crash recovery on this contract.
 
 Concrete adapters live in :mod:`repro.runtime.adapters`; the string-keyed
 factory in :mod:`repro.runtime.registry`; the driving loop in
@@ -27,7 +32,7 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
@@ -142,8 +147,58 @@ class Maintainer(ABC):
         return replace(self._stats)
 
     # ------------------------------------------------------------------
+    # Durable checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot sufficient to resume this maintainer.
+
+        The envelope carries the adapter class (so a mismatched restore
+        fails loudly), the display name, the telemetry counters, and the
+        backend payload produced by :meth:`_state_dict`.
+        """
+        self._refresh_stats()
+        return {
+            "type": type(self).__name__,
+            "name": self.name,
+            "stats": asdict(self._stats),
+            "backend": self._state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the state captured by :meth:`state_dict` in place.
+
+        The receiving maintainer must be constructed with the same
+        parameters as the one that was snapshotted (the registry makes
+        that a matter of replaying the spec); the payload then replaces
+        its backend state and telemetry wholesale.
+        """
+        expected = type(self).__name__
+        if state.get("type") != expected:
+            raise ValueError(
+                f"snapshot of {state.get('type')!r} cannot restore a {expected}"
+            )
+        self._load_state_dict(state["backend"])
+        self.name = state.get("name", self.name)
+        stats = state.get("stats")
+        if stats is not None:
+            self._stats = MaintainerStats(**stats)
+
+    # ------------------------------------------------------------------
     # Subclass hooks
     # ------------------------------------------------------------------
+
+    def _state_dict(self) -> dict:
+        """Backend payload of :meth:`state_dict`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement checkpointing"
+        )
+
+    def _load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`_state_dict`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement checkpointing"
+        )
 
     def _ingest_one(self, value: float) -> None:
         self._ingest_batch(np.asarray([value], dtype=np.float64))

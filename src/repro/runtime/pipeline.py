@@ -68,6 +68,12 @@ class StreamPipeline:
         Callbacks ``(arrivals, pipeline) -> None``.
     batch_size:
         Slice length used by :meth:`run` when consuming a stream.
+    initial_arrivals:
+        Arrival counter to resume from.  A pipeline restored from a
+        checkpoint (see :mod:`repro.service`) must keep counting from the
+        snapshot position so maintenance and checkpoint events keep
+        firing at the same absolute stream positions as an uninterrupted
+        run.
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class StreamPipeline:
         on_checkpoint: Callable[[int, "StreamPipeline"], None] | None = None,
         on_maintain: Callable[[int, "StreamPipeline"], None] | None = None,
         batch_size: int = 1024,
+        initial_arrivals: int = 0,
     ) -> None:
         if not maintainers:
             raise ValueError("need at least one maintainer")
@@ -96,6 +103,8 @@ class StreamPipeline:
             )
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if initial_arrivals < 0:
+            raise ValueError("initial_arrivals must be non-negative")
         names = [m.name for m in maintainers]
         if len(set(names)) != len(names):
             raise ValueError(f"maintainer names must be unique, got {names}")
@@ -107,7 +116,7 @@ class StreamPipeline:
         self.on_checkpoint = on_checkpoint
         self.on_maintain = on_maintain
         self.batch_size = batch_size
-        self._arrivals = 0
+        self._arrivals = initial_arrivals
         self._reports = [PipelineReport(name) for name in names]
 
     # ------------------------------------------------------------------

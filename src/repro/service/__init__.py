@@ -1,0 +1,37 @@
+"""repro.service -- the concurrent multi-stream synopsis service.
+
+The serving layer over :mod:`repro.runtime`: a :class:`StreamService`
+hosts many named streams, each a registry-built maintainer behind a
+bounded ingest queue drained by a worker thread, with snapshot-isolated
+queries (``range_sum`` / ``quantile`` / ``histogram`` / ``stats``) and
+durable checkpoint/restore via JSON snapshots plus a manifest.  See
+``docs/API.md`` ("Service layer") and the README serving quickstart.
+"""
+
+from .queries import (
+    MaterializedView,
+    UnsupportedQueryError,
+    freeze_synopsis,
+    view_histogram,
+    view_quantile,
+    view_range_sum,
+)
+from .service import StreamService, StreamSpec, UnknownStreamError
+from .snapshot import SnapshotStore
+from .stream_worker import BackpressureError, StreamWorker, WorkerCounters
+
+__all__ = [
+    "BackpressureError",
+    "MaterializedView",
+    "SnapshotStore",
+    "StreamService",
+    "StreamSpec",
+    "StreamWorker",
+    "UnknownStreamError",
+    "UnsupportedQueryError",
+    "WorkerCounters",
+    "freeze_synopsis",
+    "view_histogram",
+    "view_quantile",
+    "view_range_sum",
+]

@@ -1,0 +1,106 @@
+"""Query helpers over materialized synopsis views.
+
+The service answers queries from the *last materialized synopsis* of a
+stream, never from the live maintainer (snapshot isolation: a query must
+not block or race ingestion).  The helpers here freeze a possibly-live
+synopsis into an immutable view and translate the service's query verbs
+(``range_sum``, ``quantile``, ``histogram``) onto whatever vocabulary the
+underlying synopsis speaks; backends that cannot answer a verb raise
+:class:`UnsupportedQueryError` instead of guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.bucket import Histogram
+from ..query.queries import synopsis_quantile
+
+__all__ = [
+    "MaterializedView",
+    "UnsupportedQueryError",
+    "freeze_synopsis",
+    "view_histogram",
+    "view_quantile",
+    "view_range_sum",
+]
+
+
+class UnsupportedQueryError(RuntimeError):
+    """The stream's synopsis type cannot answer the requested query."""
+
+
+@dataclass(frozen=True)
+class MaterializedView:
+    """An immutable synopsis snapshot, stamped with its stream position.
+
+    ``arrivals`` is the number of stream points the synopsis reflects;
+    ``created_at`` is the wall-clock materialization time.  Queries read
+    views; ingestion replaces them -- neither ever mutates one.
+    """
+
+    synopsis: Any
+    arrivals: int
+    created_at: float
+
+
+def freeze_synopsis(synopsis):
+    """An immutable copy of ``synopsis`` safe to serve concurrently.
+
+    Live synopses (the GK summary, the reservoir) are cloned through
+    their exact ``to_dict``/``from_dict`` round-trip; synopses without
+    one (the raw buffer view) are already fresh per-call objects.
+    """
+    to_dict = getattr(synopsis, "to_dict", None)
+    from_dict = getattr(type(synopsis), "from_dict", None)
+    if to_dict is not None and from_dict is not None:
+        return from_dict(to_dict())
+    return synopsis
+
+
+def view_range_sum(synopsis, start: int, end: int) -> float:
+    """Estimated sum over positions ``[start, end]`` of the synopsis."""
+    if start < 0 or end < start:
+        raise ValueError(f"invalid query range [{start}, {end}]")
+    range_sum = getattr(synopsis, "range_sum", None)
+    if range_sum is None:
+        raise UnsupportedQueryError(
+            f"{type(synopsis).__name__} keeps order statistics, not "
+            "positional estimates; ask for a quantile instead"
+        )
+    return float(range_sum(start, end))
+
+
+def view_quantile(synopsis, fraction: float) -> float:
+    """Approximate ``fraction``-quantile of the summarized values."""
+    try:
+        return synopsis_quantile(synopsis, fraction)
+    except TypeError as error:
+        raise UnsupportedQueryError(str(error)) from None
+
+
+def view_histogram(synopsis) -> dict:
+    """A JSON-friendly rendering of the synopsis.
+
+    Histograms serialize to their bucket list, anything else with a
+    ``to_dict`` to its own exact representation, and raw buffers to their
+    values -- each tagged with the synopsis kind so clients can dispatch.
+    """
+    if isinstance(synopsis, Histogram):
+        return {"kind": "histogram", **synopsis.to_dict()}
+    render = getattr(synopsis, "histogram", None)
+    if callable(render):
+        rendered = render()
+        if isinstance(rendered, Histogram):
+            return {"kind": "histogram", **rendered.to_dict()}
+    to_dict = getattr(synopsis, "to_dict", None)
+    if to_dict is not None:
+        return {"kind": type(synopsis).__name__, **to_dict()}
+    to_array = getattr(synopsis, "to_array", None)
+    if to_array is not None:
+        values = to_array()
+        return {"kind": type(synopsis).__name__, "values": values.tolist()}
+    raise UnsupportedQueryError(
+        f"{type(synopsis).__name__} has no serializable rendering"
+    )

@@ -1,0 +1,352 @@
+"""The multi-stream synopsis service.
+
+:class:`StreamService` hosts many named streams, each a registry-built
+maintainer behind a :class:`~repro.service.stream_worker.StreamWorker`:
+thread-safe ingestion through bounded per-stream queues, snapshot-
+isolated queries against the last materialized synopsis, and durable
+checkpoint/restore through a :class:`~repro.service.snapshot.
+SnapshotStore`.  This is the serving-layer shape the ROADMAP aims at:
+Theorem 1's polylog-per-point maintenance is what makes it feasible to
+keep every hosted synopsis continuously queryable while the streams are
+live.
+
+Typical lifetime::
+
+    service = StreamService(snapshot_dir="snapshots/")
+    service.create_stream(
+        "cpu", backend="fixed_window",
+        params=dict(window_size=1024, num_buckets=16, epsilon=0.1),
+    )
+    service.ingest("cpu", samples)          # any thread, backpressured
+    service.range_sum("cpu", 100, 499)       # reads the materialized view
+    service.checkpoint()                     # durable JSON + manifest
+    ...                                      # crash / restart ...
+    service = StreamService.restore("snapshots/")   # same state + tail
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..runtime.registry import make_maintainer
+from .queries import (
+    MaterializedView,
+    view_histogram,
+    view_quantile,
+    view_range_sum,
+)
+from .snapshot import SnapshotStore
+from .stream_worker import BACKPRESSURE_POLICIES, StreamWorker
+
+__all__ = ["StreamService", "StreamSpec", "UnknownStreamError"]
+
+
+class UnknownStreamError(KeyError):
+    """The service hosts no stream under the requested name."""
+
+
+def _valid_stream_name(name: str) -> bool:
+    # Names become snapshot filenames ("<name>-<seq>.json"); excluding
+    # "-" keeps the sequence separator unambiguous.
+    return bool(name) and name.replace("_", "").replace(".", "").isalnum()
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Declarative configuration of one hosted stream.
+
+    ``backend``/``params`` feed the maintainer registry
+    (:func:`~repro.runtime.registry.make_maintainer`); the rest shapes
+    the worker: maintenance cadence, queue bound, full-queue policy, and
+    an optional automatic checkpoint cadence in ingested points.
+    """
+
+    backend: str
+    params: dict = field(default_factory=dict)
+    maintain_every: int | None = 1
+    queue_capacity: int = 1024
+    backpressure: str = "block"
+    checkpoint_every: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.maintain_every is not None and self.maintain_every < 1:
+            raise ValueError("maintain_every must be >= 1 (or None)")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {self.backpressure!r}; "
+                f"use one of {BACKPRESSURE_POLICIES}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+
+    def build_maintainer(self):
+        return make_maintainer(self.backend, **self.params)
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "params": dict(self.params),
+            "maintain_every": self.maintain_every,
+            "queue_capacity": self.queue_capacity,
+            "backpressure": self.backpressure,
+            "checkpoint_every": self.checkpoint_every,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamSpec":
+        return cls(
+            backend=payload["backend"],
+            params=dict(payload.get("params", {})),
+            maintain_every=payload.get("maintain_every", 1),
+            queue_capacity=int(payload.get("queue_capacity", 1024)),
+            backpressure=payload.get("backpressure", "block"),
+            checkpoint_every=payload.get("checkpoint_every"),
+        )
+
+
+class StreamService:
+    """Concurrent host for many named synopsis streams."""
+
+    def __init__(self, snapshot_dir=None) -> None:
+        self._store = SnapshotStore(snapshot_dir) if snapshot_dir else None
+        self._workers: dict[str, StreamWorker] = {}
+        self._specs: dict[str, StreamSpec] = {}
+        self._checkpoint_marks: dict[str, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Stream management
+    # ------------------------------------------------------------------
+
+    def create_stream(
+        self,
+        name: str,
+        backend: str | None = None,
+        params: dict | None = None,
+        *,
+        spec: StreamSpec | None = None,
+        **options,
+    ) -> StreamWorker:
+        """Register and start a stream.
+
+        Either pass a full :class:`StreamSpec` via ``spec`` or the
+        ``backend``/``params`` pair plus spec fields as keyword options
+        (``maintain_every``, ``queue_capacity``, ``backpressure``,
+        ``checkpoint_every``).
+        """
+        if spec is None:
+            if backend is None:
+                raise ValueError("need either a spec or a backend name")
+            spec = StreamSpec(backend=backend, params=dict(params or {}), **options)
+        elif backend is not None or params is not None or options:
+            raise ValueError("pass either spec or backend/params/options, not both")
+        return self._start_stream(name, spec, state=None, arrivals=0, tail=())
+
+    def _start_stream(
+        self,
+        name: str,
+        spec: StreamSpec,
+        state: dict | None,
+        arrivals: int,
+        tail: Iterable,
+    ) -> StreamWorker:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if not _valid_stream_name(name):
+            raise ValueError(
+                f"invalid stream name {name!r}; use letters, digits, '_' or '.'"
+            )
+        if name in self._workers:
+            raise ValueError(f"stream {name!r} already exists")
+        maintainer = spec.build_maintainer()
+        if state is not None:
+            maintainer.load_state_dict(state)
+        worker = StreamWorker(
+            name,
+            maintainer,
+            maintain_every=spec.maintain_every,
+            queue_capacity=spec.queue_capacity,
+            backpressure=spec.backpressure,
+            initial_arrivals=arrivals,
+        )
+        if state is not None:
+            worker.seed_view()
+        self._workers[name] = worker
+        self._specs[name] = spec
+        self._checkpoint_marks[name] = arrivals
+        worker.start()
+        for batch in tail:
+            worker.submit(batch)
+        return worker
+
+    def drop_stream(self, name: str, drain: bool = True) -> None:
+        """Stop and forget a stream (its snapshots stay on disk)."""
+        worker = self._worker(name)
+        worker.stop(drain=drain)
+        del self._workers[name]
+        del self._specs[name]
+        del self._checkpoint_marks[name]
+
+    def streams(self) -> list[str]:
+        """Hosted stream names, sorted."""
+        return sorted(self._workers)
+
+    def spec(self, name: str) -> StreamSpec:
+        self._worker(name)
+        return self._specs[name]
+
+    def _worker(self, name: str) -> StreamWorker:
+        try:
+            return self._workers[name]
+        except KeyError:
+            known = ", ".join(self.streams()) or "<none>"
+            raise UnknownStreamError(
+                f"no stream named {name!r}; hosted: {known}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, name: str, values) -> int:
+        """Enqueue points for a stream; returns the accepted count.
+
+        Safe to call from any thread.  Backpressure follows the stream's
+        policy; with ``checkpoint_every`` configured, a durable
+        checkpoint is taken whenever enough new points have been
+        *ingested* since the last one.
+        """
+        worker = self._worker(name)
+        accepted = worker.submit(values)
+        every = self._specs[name].checkpoint_every
+        if every is not None and self._store is not None:
+            if worker.arrivals - self._checkpoint_marks[name] >= every:
+                self.checkpoint(name)
+        return accepted
+
+    def flush(self, name: str | None = None, timeout: float | None = None) -> bool:
+        """Wait until queued points are ingested (one stream or all)."""
+        workers = [self._worker(name)] if name else list(self._workers.values())
+        return all(worker.flush(timeout=timeout) for worker in workers)
+
+    # ------------------------------------------------------------------
+    # Queries (snapshot-isolated: served from materialized views)
+    # ------------------------------------------------------------------
+
+    def view(self, name: str) -> MaterializedView:
+        """The stream's last materialized synopsis view."""
+        view = self._worker(name).view()
+        if view is None:
+            raise ValueError(
+                f"stream {name!r} has no materialized synopsis yet "
+                "(nothing ingested)"
+            )
+        return view
+
+    def synopsis(self, name: str):
+        """The frozen synopsis object of the last materialized view."""
+        return self.view(name).synopsis
+
+    def range_sum(self, name: str, start: int, end: int) -> float:
+        """Estimated sum over window positions ``[start, end]``."""
+        return view_range_sum(self.synopsis(name), start, end)
+
+    def quantile(self, name: str, fraction: float) -> float:
+        """Approximate ``fraction``-quantile of the summarized values."""
+        return view_quantile(self.synopsis(name), fraction)
+
+    def histogram(self, name: str) -> dict:
+        """JSON-friendly rendering of the stream's synopsis."""
+        return view_histogram(self.synopsis(name))
+
+    def stats(self, name: str | None = None) -> dict:
+        """Ingest/maintenance/queue telemetry (one stream or all)."""
+        if name is not None:
+            return self._worker(name).stats()
+        return {n: self._workers[n].stats() for n in self.streams()}
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, name: str | None = None) -> list[str]:
+        """Write durable snapshots (one stream or all); returns paths.
+
+        Each snapshot captures the maintainer state at a batch boundary
+        plus the buffered tail, so a restore replays exactly the points
+        the crashed service had accepted but not yet applied.
+        """
+        if self._store is None:
+            raise RuntimeError("service was created without a snapshot_dir")
+        names = [name] if name is not None else self.streams()
+        paths = []
+        for stream_name in names:
+            worker = self._worker(stream_name)
+            state, arrivals, tail = worker.checkpoint_state()
+            payload = {
+                "spec": self._specs[stream_name].to_dict(),
+                "arrivals": arrivals,
+                "state": state,
+                "tail": tail,
+            }
+            paths.append(str(self._store.write(stream_name, payload)))
+            self._checkpoint_marks[stream_name] = arrivals
+        return paths
+
+    def restore_stream(self, name: str) -> StreamWorker:
+        """Recreate one stream from its latest snapshot."""
+        if self._store is None:
+            raise RuntimeError("service was created without a snapshot_dir")
+        payload = self._store.load_latest(name)
+        spec = StreamSpec.from_dict(payload["spec"])
+        return self._start_stream(
+            name,
+            spec,
+            state=payload["state"],
+            arrivals=int(payload["arrivals"]),
+            tail=payload.get("tail", ()),
+        )
+
+    @classmethod
+    def restore(cls, snapshot_dir) -> "StreamService":
+        """Bring a whole service back from a snapshot directory.
+
+        Every stream named in the manifest is rebuilt from its latest
+        snapshot and its buffered tail is re-enqueued, so the recovered
+        service converges to the state the crashed one would have
+        reached after draining its queues.
+        """
+        service = cls(snapshot_dir=snapshot_dir)
+        for name in service._store.streams():
+            service.restore_stream(name)
+        return service
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, checkpoint: bool | None = None) -> None:
+        """Drain and stop every worker.
+
+        With a snapshot store attached, a final checkpoint is taken by
+        default once the queues are drained (pass ``checkpoint=False``
+        to skip it).
+        """
+        if self._closed:
+            return
+        for worker in self._workers.values():
+            worker.stop(drain=True)
+        if checkpoint is None:
+            checkpoint = self._store is not None
+        if checkpoint:
+            self.checkpoint()
+        self._closed = True
+
+    def __enter__(self) -> "StreamService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(checkpoint=False if exc_type else None)

@@ -1,0 +1,117 @@
+"""Durable checkpoint storage: JSON snapshots plus a manifest.
+
+One directory holds everything a service needs to come back from a
+crash: a numbered snapshot file per checkpoint (stream spec, maintainer
+``state_dict``, arrival counter, and the buffered-but-unprocessed tail)
+and a ``manifest.json`` naming the latest snapshot of every stream.
+Both are written atomically (temp file + ``os.replace``), so a crash
+mid-checkpoint leaves the previous snapshot intact -- the manifest never
+points at a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["SnapshotStore"]
+
+MANIFEST_NAME = "manifest.json"
+SNAPSHOT_FORMAT = 1
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+class SnapshotStore:
+    """Snapshot directory manager for one service."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.directory / MANIFEST_NAME
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+
+    def manifest(self) -> dict:
+        """The current manifest (empty skeleton if none exists yet)."""
+        if not self._manifest_path.exists():
+            return {"format": SNAPSHOT_FORMAT, "streams": {}}
+        manifest = json.loads(self._manifest_path.read_text())
+        if manifest.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported snapshot format {manifest.get('format')!r}"
+            )
+        return manifest
+
+    def streams(self) -> list[str]:
+        """Stream names with at least one snapshot, sorted."""
+        return sorted(self.manifest()["streams"])
+
+    # ------------------------------------------------------------------
+    # Write / read
+    # ------------------------------------------------------------------
+
+    def write(self, name: str, payload: dict) -> Path:
+        """Persist one stream snapshot and point the manifest at it.
+
+        The snapshot file is written before the manifest entry, so a
+        crash between the two at worst leaves an orphaned file, never a
+        dangling manifest reference.
+        """
+        manifest = self.manifest()
+        entry = manifest["streams"].get(name, {})
+        seq = int(entry.get("seq", 0)) + 1
+        filename = f"{name}-{seq:08d}.json"
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "stream": name,
+            "seq": seq,
+            "created_at": time.time(),
+            **payload,
+        }
+        path = self.directory / filename
+        _atomic_write_json(path, payload)
+        manifest["streams"][name] = {
+            "file": filename,
+            "seq": seq,
+            "arrivals": payload.get("arrivals", 0),
+            "created_at": payload["created_at"],
+        }
+        _atomic_write_json(self._manifest_path, manifest)
+        self._prune(name, keep_before=filename)
+        return path
+
+    def load_latest(self, name: str) -> dict:
+        """The most recent snapshot payload of ``name``."""
+        entry = self.manifest()["streams"].get(name)
+        if entry is None:
+            raise KeyError(f"no snapshot recorded for stream {name!r}")
+        path = self.directory / entry["file"]
+        payload = json.loads(path.read_text())
+        if payload.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported snapshot format {payload.get('format')!r}"
+            )
+        if payload.get("stream") != name:
+            raise ValueError(
+                f"snapshot {path.name} belongs to stream "
+                f"{payload.get('stream')!r}, not {name!r}"
+            )
+        return payload
+
+    def _prune(self, name: str, keep_before: str) -> None:
+        """Drop superseded snapshot files of one stream (best effort)."""
+        for stale in self.directory.glob(f"{name}-*.json"):
+            if stale.name != keep_before:
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass

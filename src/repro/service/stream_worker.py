@@ -1,0 +1,346 @@
+"""One hosted stream: bounded ingest queue, worker thread, live view.
+
+A :class:`StreamWorker` owns a single maintainer driven through a
+:class:`~repro.runtime.pipeline.StreamPipeline` (so maintenance cadence
+semantics are *identical* to a direct single-threaded run over the same
+points).  Producers call :meth:`submit` from any thread; the worker
+thread drains batches in arrival order, then materializes an immutable
+:class:`~repro.service.queries.MaterializedView` that queries read
+without ever touching the maintainer.
+
+Backpressure when the queue is full is configurable:
+
+* ``"block"`` -- the producer waits for space (lossless, the default);
+* ``"reject"`` -- :meth:`submit` raises :class:`BackpressureError`;
+* ``"drop_oldest"`` -- the oldest queued batches are evicted to make
+  room (freshest-data-wins, for monitoring workloads).
+
+Every decision is counted (:class:`WorkerCounters`): points submitted /
+ingested / dropped, batches rejected, enqueue wait time, and a ring of
+recent enqueue latencies for percentile reporting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.prefix import as_stream_batch
+from ..runtime.maintainer import Maintainer
+from ..runtime.pipeline import StreamPipeline
+from .queries import MaterializedView, freeze_synopsis
+
+__all__ = ["BackpressureError", "StreamWorker", "WorkerCounters"]
+
+BACKPRESSURE_POLICIES = ("block", "reject", "drop_oldest")
+
+
+class BackpressureError(RuntimeError):
+    """A ``reject``-policy queue refused a batch because it was full."""
+
+
+@dataclass
+class WorkerCounters:
+    """Ingestion telemetry of one hosted stream."""
+
+    submitted_points: int = 0
+    ingested_points: int = 0
+    dropped_points: int = 0
+    rejected_batches: int = 0
+    rejected_points: int = 0
+    enqueued_batches: int = 0
+    drained_batches: int = 0
+    max_queue_depth: int = 0
+    enqueue_wait_seconds: float = 0.0
+    enqueue_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+
+    def latency_quantile(self, fraction: float) -> float:
+        """Quantile of recent enqueue latencies in seconds (0 if none)."""
+        if not self.enqueue_latencies:
+            return 0.0
+        return float(np.quantile(list(self.enqueue_latencies), fraction))
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted_points": self.submitted_points,
+            "ingested_points": self.ingested_points,
+            "dropped_points": self.dropped_points,
+            "rejected_batches": self.rejected_batches,
+            "rejected_points": self.rejected_points,
+            "enqueued_batches": self.enqueued_batches,
+            "drained_batches": self.drained_batches,
+            "max_queue_depth": self.max_queue_depth,
+            "enqueue_wait_seconds": self.enqueue_wait_seconds,
+            "enqueue_p50_seconds": self.latency_quantile(0.50),
+            "enqueue_p99_seconds": self.latency_quantile(0.99),
+        }
+
+
+class StreamWorker:
+    """Threaded ingestion front of one maintainer.
+
+    Parameters mirror the stream spec: ``queue_capacity`` bounds the
+    number of *points* (not batches) waiting in the queue,
+    ``backpressure`` picks the full-queue policy, ``maintain_every`` is
+    forwarded to the internal pipeline, and ``initial_arrivals`` resumes
+    the arrival counter of a restored checkpoint so cadence events keep
+    firing at the same absolute stream positions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        maintainer: Maintainer,
+        *,
+        maintain_every: int | None = 1,
+        queue_capacity: int = 1024,
+        backpressure: str = "block",
+        initial_arrivals: int = 0,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {backpressure!r}; "
+                f"use one of {BACKPRESSURE_POLICIES}"
+            )
+        self.name = name
+        self.maintainer = maintainer
+        self.queue_capacity = queue_capacity
+        self.backpressure = backpressure
+        self.counters = WorkerCounters()
+        self._pipeline = StreamPipeline(
+            [maintainer],
+            maintain_every=maintain_every,
+            initial_arrivals=initial_arrivals,
+        )
+        self._queue: deque[np.ndarray] = deque()
+        self._queued_points = 0
+        self._in_flight: np.ndarray | None = None
+        self._cv = threading.Condition()
+        # Held by the worker around each pipeline feed and by checkpoint
+        # readers; guarantees a checkpoint never sees a half-applied batch.
+        self._state_lock = threading.Lock()
+        self._view: MaterializedView | None = None
+        self._view_lock = threading.Lock()
+        self._error: BaseException | None = None
+        self._stop_requested = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"stream-worker:{name}", daemon=True
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker; with ``drain`` (default) finish queued work."""
+        with self._cv:
+            if not drain:
+                self.counters.dropped_points += self._queued_points
+                self._queue.clear()
+                self._queued_points = 0
+            self._stop_requested = True
+            self._cv.notify_all()
+        if self._started:
+            self._thread.join()
+
+    @property
+    def arrivals(self) -> int:
+        """Points the maintainer has actually consumed so far."""
+        return self._pipeline.arrivals
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def submit(self, values) -> int:
+        """Enqueue a batch; returns the number of points accepted.
+
+        Thread-safe.  Applies the configured backpressure policy and
+        records the time spent waiting for queue space.
+        """
+        batch = as_stream_batch(values)
+        if batch.size == 0:
+            return 0
+        started = time.perf_counter()
+        with self._cv:
+            self._raise_if_failed()
+            if self._stop_requested:
+                raise RuntimeError(f"stream {self.name!r} is stopped")
+            if self.backpressure == "block":
+                self._cv.wait_for(
+                    lambda: self._fits(batch.size)
+                    or self._stop_requested
+                    or self._error is not None
+                )
+                self._raise_if_failed()
+                if self._stop_requested:
+                    raise RuntimeError(f"stream {self.name!r} is stopped")
+            elif self.backpressure == "reject":
+                if not self._fits(batch.size):
+                    self.counters.rejected_batches += 1
+                    self.counters.rejected_points += batch.size
+                    raise BackpressureError(
+                        f"stream {self.name!r} queue full "
+                        f"({self._queued_points}/{self.queue_capacity} points)"
+                    )
+            else:  # drop_oldest
+                while not self._fits(batch.size) and self._queue:
+                    evicted = self._queue.popleft()
+                    self._queued_points -= evicted.size
+                    self.counters.dropped_points += evicted.size
+            waited = time.perf_counter() - started
+            self._queue.append(batch)
+            self._queued_points += batch.size
+            self.counters.submitted_points += batch.size
+            self.counters.enqueued_batches += 1
+            self.counters.enqueue_wait_seconds += waited
+            self.counters.enqueue_latencies.append(waited)
+            self.counters.max_queue_depth = max(
+                self.counters.max_queue_depth, self._queued_points
+            )
+            self._cv.notify_all()
+        return batch.size
+
+    def _fits(self, size: int) -> bool:
+        # An oversize batch may enter an *empty* queue so it can always
+        # make progress; otherwise the point bound is respected.
+        if self._queued_points == 0:
+            return True
+        return self._queued_points + size <= self.queue_capacity
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Block until every queued point has been ingested."""
+        with self._cv:
+            drained = self._cv.wait_for(
+                lambda: (
+                    (not self._queue and self._in_flight is None)
+                    or self._error is not None
+                ),
+                timeout=timeout,
+            )
+            self._raise_if_failed()
+            return drained
+
+    def _raise_if_failed(self) -> None:
+        if self._error is not None:
+            raise RuntimeError(
+                f"stream {self.name!r} worker failed: {self._error!r}"
+            ) from self._error
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                self._cv.wait_for(lambda: self._queue or self._stop_requested)
+                if not self._queue:
+                    break
+                batch = self._queue.popleft()
+                self._queued_points -= batch.size
+                self._in_flight = batch
+                self._cv.notify_all()
+            try:
+                with self._state_lock:
+                    self._pipeline.extend(batch)
+                    self.counters.ingested_points += batch.size
+                    self.counters.drained_batches += 1
+                    self._materialize()
+                    with self._cv:
+                        self._in_flight = None
+                        self._cv.notify_all()
+            except BaseException as error:  # noqa: B036 - surfaced to producers
+                with self._cv:
+                    self._error = error
+                    self._in_flight = None
+                    self._cv.notify_all()
+                break
+
+    def _materialize(self) -> None:
+        """Refresh the queryable view from the maintainer.
+
+        Uses ``last_synopsis`` where the backend caches one (the
+        staleness side of the maintenance cadence); the result is frozen
+        so concurrent queries can never observe later mutation.
+        """
+        produce = getattr(self.maintainer, "last_synopsis", None)
+        try:
+            synopsis = produce() if produce is not None else self.maintainer.synopsis()
+        except ValueError:
+            return  # nothing ingested yet (e.g. an all-dropped batch)
+        view = MaterializedView(
+            synopsis=freeze_synopsis(synopsis),
+            arrivals=self._pipeline.arrivals,
+            created_at=time.time(),
+        )
+        with self._view_lock:
+            self._view = view
+
+    def seed_view(self) -> None:
+        """Materialize an initial view outside the worker thread.
+
+        Used right after a checkpoint restore so the stream is queryable
+        before any new point arrives.
+        """
+        with self._state_lock:
+            self._materialize()
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+
+    def view(self) -> MaterializedView | None:
+        """The last materialized view (None before any ingestion)."""
+        with self._view_lock:
+            return self._view
+
+    def checkpoint_state(self) -> tuple[dict, int, list[list[float]]]:
+        """A consistent (maintainer state, arrivals, buffered tail) triple.
+
+        Holding the state lock first parks the worker *between* batches;
+        the queue lock then captures the not-yet-ingested tail, so every
+        submitted point lands in exactly one of state or tail.
+        """
+        with self._state_lock:
+            with self._cv:
+                self._raise_if_failed()
+                tail = [batch.tolist() for batch in self._queue]
+                if self._in_flight is not None:
+                    # Cannot happen while we hold the state lock, but be
+                    # explicit: an in-flight batch belongs to the tail.
+                    tail.insert(0, self._in_flight.tolist())
+                return (
+                    self.maintainer.state_dict(),
+                    self._pipeline.arrivals,
+                    tail,
+                )
+
+    def stats(self) -> dict:
+        """Unified ingest / maintenance / queue telemetry."""
+        with self._cv:
+            queue_depth = self._queued_points
+        maintainer_stats = self.maintainer.stats()
+        return {
+            "stream": self.name,
+            "arrivals": self._pipeline.arrivals,
+            "queue_depth": queue_depth,
+            "backpressure": self.backpressure,
+            "queue_capacity": self.queue_capacity,
+            "maintainer": maintainer_stats.counters(),
+            "ingest_seconds": maintainer_stats.ingest_seconds,
+            "maintain_seconds": maintainer_stats.maintain_seconds,
+            **self.counters.to_dict(),
+        }

@@ -134,6 +134,47 @@ class GKQuantileSummary:
             raise ValueError("count must be >= 1")
         return [self.query(q / (count + 1)) for q in range(1, count + 1)]
 
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (see :meth:`from_dict`).
+
+        The tuples *are* the summary, so the snapshot is exact: the
+        restored summary answers every rank and quantile query
+        identically and continues the stream with the same guarantees.
+        """
+        return {
+            "epsilon": self.epsilon,
+            "count": self._count,
+            "tuples": [[t.value, t.g, t.delta] for t in self._tuples],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GKQuantileSummary":
+        """Inverse of :meth:`to_dict`."""
+        summary = cls(float(payload["epsilon"]))
+        count = int(payload["count"])
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        tuples = [
+            _Tuple(float(value), int(g), int(delta))
+            for value, g, delta in payload["tuples"]
+        ]
+        if count == 0 and tuples:
+            raise ValueError("tuples present with zero count")
+        if count > 0 and not tuples:
+            raise ValueError("no tuples for a non-empty summary")
+        if any(t.g < 1 or t.delta < 0 for t in tuples):
+            raise ValueError("tuple gaps must be >= 1 and deltas >= 0")
+        if any(
+            later.value < earlier.value
+            for earlier, later in zip(tuples, tuples[1:])
+        ):
+            raise ValueError("tuples must be sorted by value")
+        if sum(t.g for t in tuples) > count:
+            raise ValueError("rank gaps exceed the stream count")
+        summary._count = count
+        summary._tuples = tuples
+        return summary
+
     def merge(self, other: "GKQuantileSummary") -> "GKQuantileSummary":
         """Combine two summaries built over disjoint streams.
 

@@ -56,6 +56,38 @@ class ReservoirSample:
         """The current sample (order not meaningful)."""
         return np.asarray(self._sample, dtype=np.float64)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (see :meth:`from_dict`).
+
+        Includes the generator state, so a restored reservoir makes the
+        same replacement decisions on the remaining stream as the
+        original would have -- resumption is bit-exact, not merely
+        distributionally equivalent.
+        """
+        return {
+            "capacity": self._capacity,
+            "count": self._count,
+            "sample": list(self._sample),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReservoirSample":
+        """Inverse of :meth:`to_dict`."""
+        reservoir = cls(int(payload["capacity"]))
+        count = int(payload["count"])
+        sample = [float(value) for value in payload["sample"]]
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if len(sample) > reservoir._capacity:
+            raise ValueError("sample larger than capacity")
+        if len(sample) != min(count, reservoir._capacity):
+            raise ValueError("sample size inconsistent with stream count")
+        reservoir._count = count
+        reservoir._sample = sample
+        reservoir._rng.bit_generator.state = payload["rng_state"]
+        return reservoir
+
     def estimate_sum(self) -> float:
         """Horvitz-Thompson estimate of the stream's running sum."""
         if not self._sample:

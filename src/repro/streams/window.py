@@ -80,3 +80,25 @@ class SlidingWindow:
             return self._ring[:length].copy()
         pivot = self._total_seen % self._capacity
         return np.concatenate((self._ring[pivot:], self._ring[:pivot]))
+
+    @classmethod
+    def restore(cls, capacity: int, values, total_seen: int) -> "SlidingWindow":
+        """Rebuild a window holding ``values`` after ``total_seen`` points.
+
+        Mirrors :meth:`SlidingPrefixSums.restore`: only the retained
+        window matters, so restoration is O(len(values)) no matter how
+        long the original stream was.
+        """
+        array = as_stream_batch(values)
+        if array.size > capacity:
+            raise ValueError("window longer than capacity")
+        if total_seen < array.size:
+            raise ValueError("total_seen cannot be below the window length")
+        if total_seen > array.size and array.size < capacity:
+            raise ValueError("a partial window implies total_seen == window length")
+        window = cls(capacity)
+        start = total_seen - array.size
+        slots = (start + np.arange(array.size)) % capacity
+        window._ring[slots] = array
+        window._total_seen = total_seen
+        return window

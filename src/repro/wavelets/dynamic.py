@@ -87,6 +87,33 @@ class DynamicWaveletHistogram:
         for value in values:
             self.insert(value)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (see :meth:`from_dict`).
+
+        The maintained coefficient vector is the entire state; the
+        restored histogram continues inserts and deletes exactly where
+        the original left off.
+        """
+        return {
+            "domain_size": self.domain_size,
+            "count": self._count,
+            "coefficients": self._coefficients.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DynamicWaveletHistogram":
+        """Inverse of :meth:`to_dict`."""
+        histogram = cls(int(payload["domain_size"]))
+        coefficients = np.asarray(payload["coefficients"], dtype=np.float64)
+        if coefficients.size != histogram._padded:
+            raise ValueError("coefficient vector does not match the padded domain")
+        count = int(payload["count"])
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        histogram._coefficients = coefficients
+        histogram._count = count
+        return histogram
+
     def frequencies(self) -> np.ndarray:
         """The exact maintained frequency vector (for verification)."""
         from .haar import haar_inverse

@@ -140,6 +140,86 @@ class TestBatchedEquivalence:
         assert stats.seconds >= 0.0
 
 
+class TestStateDict:
+    """Every registry backend checkpoints and resumes exactly."""
+
+    @staticmethod
+    def integers(n, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 100, size=n).astype(float)
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_KWARGS))
+    def test_json_round_trip_resumes_exactly(self, backend):
+        import json
+
+        stream = self.integers(600, seed=11)
+        original = make_maintainer(backend, **BACKEND_KWARGS[backend])
+        original.extend(stream[:400])
+        original.maintain()
+        payload = json.loads(json.dumps(original.state_dict()))
+        restored = make_maintainer(backend, **BACKEND_KWARGS[backend])
+        restored.load_state_dict(payload)
+        assert restored.name == original.name
+        assert restored.stats().counters() == original.stats().counters()
+        original.extend(stream[400:])
+        restored.extend(stream[400:])
+        original.maintain()
+        restored.maintain()
+        a, b = original.synopsis(), restored.synopsis()
+        if hasattr(a, "to_dict"):
+            assert a.to_dict() == b.to_dict()
+        elif hasattr(a, "quantiles"):
+            assert a.quantiles(5) == b.quantiles(5)
+        else:
+            assert a.range_sum(0, len(a) - 1) == b.range_sum(0, len(b) - 1)
+        assert restored.stats().counters() == original.stats().counters()
+
+    def test_mismatched_adapter_rejected(self):
+        exact = make_maintainer("exact", window_size=16)
+        exact.extend(self.integers(8))
+        gk = make_maintainer("gk_quantiles", epsilon=0.1)
+        with pytest.raises(ValueError, match="cannot restore"):
+            gk.load_state_dict(exact.state_dict())
+
+    def test_reservoir_resumption_is_bit_exact(self):
+        stream = self.integers(500, seed=2)
+        original = make_maintainer("reservoir", capacity=16, seed=7)
+        original.extend(stream[:250])
+        restored = make_maintainer("reservoir", capacity=16, seed=7)
+        restored.load_state_dict(original.state_dict())
+        original.extend(stream[250:])
+        restored.extend(stream[250:])
+        assert list(original.synopsis().values()) == list(
+            restored.synopsis().values()
+        )
+
+    def test_fixed_window_telemetry_survives_restore(self):
+        original = make_maintainer("fixed_window", **BACKEND_KWARGS["fixed_window"])
+        original.extend(self.integers(200))
+        original.maintain()
+        before = original.stats()
+        restored = make_maintainer("fixed_window", **BACKEND_KWARGS["fixed_window"])
+        restored.load_state_dict(original.state_dict())
+        after = restored.stats()
+        assert after.rebuilds == before.rebuilds
+        assert after.herror_evaluations == before.herror_evaluations
+        assert after.search_probes == before.search_probes
+
+    def test_delayed_maintainer_round_trip(self):
+        stream = self.integers(300, seed=5)
+        inner = make_maintainer("gk_quantiles", epsilon=0.1)
+        original = DelayedMaintainer(inner, lag=20)
+        original.extend(stream[:150])
+        restored = DelayedMaintainer(
+            make_maintainer("gk_quantiles", epsilon=0.1), lag=20
+        )
+        restored.load_state_dict(original.state_dict())
+        assert restored.delayed_points() == original.delayed_points()
+        original.extend(stream[150:])
+        restored.extend(stream[150:])
+        assert original.synopsis().to_dict() == restored.synopsis().to_dict()
+
+
 class TestPipelineCadence:
     def test_maintain_positions_match_per_point_loop(self):
         """Pipeline cadence == a hand-rolled `if i % c == 0: maintain()`."""

@@ -11,7 +11,9 @@ from hypothesis import strategies as st
 
 from repro.core.bucket import Histogram
 from repro.core.optimal import optimal_histogram
-from repro.wavelets import WaveletSynopsis
+from repro.sketches import GKQuantileSummary, ReservoirSample
+from repro.warehouse import StreamingEquiDepthSummary
+from repro.wavelets import DynamicWaveletHistogram, WaveletSynopsis
 
 from .conftest import int_sequences
 
@@ -69,3 +71,120 @@ class TestWaveletSerialization:
         payload["values"] = payload["values"][:-1]
         with pytest.raises(ValueError):
             WaveletSynopsis.from_dict(payload)
+
+
+class TestGKSerialization:
+    @given(int_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_answers_identically(self, values):
+        summary = GKQuantileSummary(0.1)
+        summary.extend(values)
+        restored = GKQuantileSummary.from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        assert len(restored) == len(summary)
+        assert restored.summary_size == summary.summary_size
+        for fraction in (0.1, 0.5, 0.9):
+            assert restored.query(fraction) == summary.query(fraction)
+        probe = float(values[len(values) // 2])
+        assert restored.rank_bounds(probe) == summary.rank_bounds(probe)
+
+    @given(int_sequences, int_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_resumed_summary_tracks_original(self, head, tail):
+        summary = GKQuantileSummary(0.1)
+        summary.extend(head)
+        restored = GKQuantileSummary.from_dict(summary.to_dict())
+        summary.extend(tail)
+        restored.extend(tail)
+        assert restored.to_dict() == summary.to_dict()
+
+    def test_rejects_inconsistent_payload(self):
+        summary = GKQuantileSummary(0.1)
+        summary.extend([1.0, 2.0, 3.0])
+        payload = summary.to_dict()
+        payload["count"] = 1  # fewer points than the tuple gaps account for
+        with pytest.raises(ValueError):
+            GKQuantileSummary.from_dict(payload)
+        unsorted = summary.to_dict()
+        unsorted["tuples"] = list(reversed(unsorted["tuples"]))
+        with pytest.raises(ValueError):
+            GKQuantileSummary.from_dict(unsorted)
+
+    def test_rejects_empty_summary_with_tuples(self):
+        summary = GKQuantileSummary(0.1)
+        summary.insert(5.0)
+        payload = summary.to_dict()
+        payload["count"] = 0
+        with pytest.raises(ValueError):
+            GKQuantileSummary.from_dict(payload)
+
+
+class TestReservoirSerialization:
+    @given(int_sequences, int_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_resumption_is_bit_exact(self, head, tail):
+        reservoir = ReservoirSample(8, seed=3)
+        reservoir.extend(head)
+        restored = ReservoirSample.from_dict(
+            json.loads(json.dumps(reservoir.to_dict()))
+        )
+        # The generator state travels with the snapshot: both make the
+        # same replacement decisions on the remaining stream.
+        reservoir.extend(tail)
+        restored.extend(tail)
+        assert list(restored.values()) == list(reservoir.values())
+        assert len(restored) == len(reservoir)
+
+    def test_rejects_inconsistent_payload(self):
+        reservoir = ReservoirSample(4, seed=0)
+        reservoir.extend([1.0, 2.0, 3.0])
+        payload = reservoir.to_dict()
+        payload["sample"] = payload["sample"][:-1]
+        with pytest.raises(ValueError):
+            ReservoirSample.from_dict(payload)
+
+
+class TestEquiDepthSerialization:
+    @given(int_sequences, int_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_resumed_summary_tracks_original(self, head, tail):
+        summary = StreamingEquiDepthSummary(4, epsilon=0.1)
+        summary.extend(head)
+        restored = StreamingEquiDepthSummary.from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        summary.extend(tail)
+        restored.extend(tail)
+        assert restored.histogram() == summary.histogram()
+        assert restored.estimate_count(0, 50) == summary.estimate_count(0, 50)
+
+    def test_rejects_negative_max_value(self):
+        summary = StreamingEquiDepthSummary(4)
+        summary.extend([1.0, 2.0])
+        payload = summary.to_dict()
+        payload["max_value"] = -1
+        with pytest.raises(ValueError):
+            StreamingEquiDepthSummary.from_dict(payload)
+
+
+class TestDynamicWaveletSerialization:
+    @given(int_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip(self, values):
+        histogram = DynamicWaveletHistogram(128)
+        histogram.extend(values.astype(int).tolist())
+        restored = DynamicWaveletHistogram.from_dict(
+            json.loads(json.dumps(histogram.to_dict()))
+        )
+        assert len(restored) == len(histogram)
+        assert np.allclose(restored.frequencies(), histogram.frequencies())
+        assert restored.synopsis(8).to_dict() == histogram.synopsis(8).to_dict()
+
+    def test_rejects_mismatched_coefficients(self):
+        histogram = DynamicWaveletHistogram(16)
+        histogram.insert(3)
+        payload = histogram.to_dict()
+        payload["coefficients"] = payload["coefficients"][:-1]
+        with pytest.raises(ValueError):
+            DynamicWaveletHistogram.from_dict(payload)

@@ -1,0 +1,480 @@
+"""Tests for repro.service: the concurrent multi-stream synopsis service.
+
+Pins down the serving-layer contract: threaded ingestion is equivalent
+to a direct single-threaded pipeline run, queries are snapshot-isolated,
+backpressure policies behave as configured, and a crashed service
+restored from its snapshot manifest converges to the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import StreamPipeline, make_maintainer
+from repro.service import (
+    BackpressureError,
+    SnapshotStore,
+    StreamService,
+    StreamSpec,
+    StreamWorker,
+    UnknownStreamError,
+    UnsupportedQueryError,
+)
+
+BACKEND_KWARGS = {
+    "fixed_window": dict(window_size=64, num_buckets=8, epsilon=0.25),
+    "agglomerative": dict(num_buckets=8, epsilon=0.25),
+    "wavelet": dict(window_size=64, budget=8),
+    "dynamic_wavelet": dict(domain_size=128, budget=8),
+    "gk_quantiles": dict(epsilon=0.05),
+    "equi_depth": dict(num_buckets=8),
+    "reservoir": dict(capacity=32),
+    "exact": dict(window_size=64),
+}
+
+
+def integer_stream(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100, size=n).astype(float)
+
+
+def reference_synopsis(maintainer):
+    """What a service view would serve: the last-maintained synopsis."""
+    produce = getattr(maintainer, "last_synopsis", None)
+    return produce() if produce is not None else maintainer.synopsis()
+
+
+def assert_same_synopsis(a, b):
+    if hasattr(a, "to_dict"):
+        assert a.to_dict() == b.to_dict()
+    elif hasattr(a, "quantiles"):
+        assert a.quantiles(5) == b.quantiles(5)
+    else:
+        assert a.range_sum(0, len(a) - 1) == b.range_sum(0, len(b) - 1)
+
+
+class TestServiceEquivalence:
+    """Threaded service ingestion == direct single-threaded pipeline."""
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_KWARGS))
+    def test_matches_direct_pipeline(self, backend):
+        stream = integer_stream(1500, seed=4)
+        with StreamService() as service:
+            service.create_stream(
+                "s",
+                backend=backend,
+                params=BACKEND_KWARGS[backend],
+                maintain_every=32,
+                queue_capacity=128,
+            )
+            # Ragged chunks, crossing queue and cadence boundaries.
+            rng = np.random.default_rng(8)
+            i = 0
+            while i < stream.size:
+                step = int(rng.integers(1, 97))
+                service.ingest("s", stream[i : i + step])
+                i += step
+            service.flush("s")
+            served = service.synopsis("s")
+        direct = make_maintainer(backend, **BACKEND_KWARGS[backend])
+        StreamPipeline([direct], maintain_every=32).run(stream)
+        assert_same_synopsis(served, reference_synopsis(direct))
+
+    def test_arbitrary_queue_sizes(self):
+        stream = integer_stream(800, seed=1)
+        for capacity in (1, 7, 64, 4096):
+            with StreamService() as service:
+                service.create_stream(
+                    "s",
+                    backend="fixed_window",
+                    params=BACKEND_KWARGS["fixed_window"],
+                    maintain_every=16,
+                    queue_capacity=capacity,
+                )
+                for start in range(0, 800, 13):
+                    service.ingest("s", stream[start : start + 13])
+                service.flush("s")
+                served = service.synopsis("s")
+            direct = make_maintainer("fixed_window", **BACKEND_KWARGS["fixed_window"])
+            StreamPipeline([direct], maintain_every=16).run(stream)
+            assert served.to_dict() == direct.synopsis().to_dict()
+
+    def test_concurrent_producers_lossless(self):
+        """N producer threads into one blocking stream lose nothing."""
+        with StreamService() as service:
+            service.create_stream(
+                "gk", backend="gk_quantiles", params=dict(epsilon=0.1),
+                queue_capacity=32,
+            )
+
+            def produce(seed):
+                for chunk in np.array_split(integer_stream(500, seed=seed), 25):
+                    service.ingest("gk", chunk)
+
+            threads = [
+                threading.Thread(target=produce, args=(seed,)) for seed in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            service.flush("gk")
+            stats = service.stats("gk")
+            assert stats["submitted_points"] == 2000
+            assert stats["ingested_points"] == 2000
+            assert stats["dropped_points"] == 0
+            assert len(service.synopsis("gk")) == 2000
+
+    def test_multiple_streams_are_independent(self):
+        with StreamService() as service:
+            service.create_stream(
+                "a", backend="exact", params=dict(window_size=64)
+            )
+            service.create_stream(
+                "b", backend="gk_quantiles", params=dict(epsilon=0.1)
+            )
+            service.ingest("a", integer_stream(100, seed=1))
+            service.ingest("b", integer_stream(200, seed=2))
+            service.flush()
+            assert service.stats("a")["arrivals"] == 100
+            assert service.stats("b")["arrivals"] == 200
+            assert sorted(service.streams()) == ["a", "b"]
+
+
+class TestSnapshotIsolation:
+    def test_view_is_frozen_against_later_ingestion(self):
+        with StreamService() as service:
+            service.create_stream(
+                "gk", backend="gk_quantiles", params=dict(epsilon=0.1)
+            )
+            service.ingest("gk", integer_stream(300, seed=0))
+            service.flush("gk")
+            view = service.view("gk")
+            frozen = view.synopsis.to_dict()
+            service.ingest("gk", integer_stream(300, seed=1))
+            service.flush("gk")
+            # The old view is untouched; the service serves a newer one.
+            assert view.synopsis.to_dict() == frozen
+            assert service.view("gk").arrivals == 600
+            assert view.arrivals == 300
+
+    def test_query_before_ingestion_raises(self):
+        with StreamService() as service:
+            service.create_stream("s", backend="exact", params=dict(window_size=8))
+            with pytest.raises(ValueError, match="no materialized synopsis"):
+                service.range_sum("s", 0, 3)
+
+
+class TestQueries:
+    def test_range_sum_exact_backend(self):
+        stream = integer_stream(64, seed=9)
+        with StreamService() as service:
+            service.create_stream("s", backend="exact", params=dict(window_size=64))
+            service.ingest("s", stream)
+            service.flush("s")
+            assert service.range_sum("s", 10, 20) == pytest.approx(
+                float(stream[10:21].sum())
+            )
+
+    def test_quantile_across_backends(self):
+        stream = integer_stream(500, seed=3)
+        specs = {
+            "gk": ("gk_quantiles", dict(epsilon=0.05)),
+            "res": ("reservoir", dict(capacity=256)),
+            "depth": ("equi_depth", dict(num_buckets=16)),
+            "exact": ("exact", dict(window_size=500)),
+        }
+        with StreamService() as service:
+            for name, (backend, params) in specs.items():
+                service.create_stream(name, backend=backend, params=params)
+                service.ingest(name, stream)
+            service.flush()
+            truth = float(np.quantile(stream, 0.5))
+            for name in specs:
+                assert service.quantile(name, 0.5) == pytest.approx(
+                    truth, abs=15.0
+                ), name
+
+    def test_histogram_payload_is_json_friendly(self):
+        with StreamService() as service:
+            service.create_stream(
+                "h", backend="fixed_window", params=BACKEND_KWARGS["fixed_window"]
+            )
+            service.ingest("h", integer_stream(100, seed=5))
+            service.flush("h")
+            payload = json.loads(json.dumps(service.histogram("h")))
+            assert payload["kind"] == "histogram"
+            assert len(payload["ends"]) == len(payload["values"])
+
+    def test_gk_rejects_positional_queries(self):
+        with StreamService() as service:
+            service.create_stream(
+                "gk", backend="gk_quantiles", params=dict(epsilon=0.1)
+            )
+            service.ingest("gk", integer_stream(50))
+            service.flush("gk")
+            with pytest.raises(UnsupportedQueryError):
+                service.range_sum("gk", 0, 10)
+
+    def test_stats_surface_counters(self):
+        with StreamService() as service:
+            service.create_stream("s", backend="exact", params=dict(window_size=32))
+            service.ingest("s", integer_stream(96))
+            service.flush("s")
+            stats = service.stats("s")
+            assert stats["arrivals"] == 96
+            assert stats["maintainer"]["points"] == 96
+            assert stats["enqueue_p99_seconds"] >= 0.0
+            assert stats["queue_depth"] == 0
+
+    def test_unknown_stream_error_lists_hosted(self):
+        with StreamService() as service:
+            service.create_stream("known", backend="exact", params=dict(window_size=8))
+            with pytest.raises(UnknownStreamError, match="known"):
+                service.ingest("missing", [1.0])
+
+
+class TestBackpressure:
+    """Policies exercised on an unstarted worker (queue fills, no drain)."""
+
+    @staticmethod
+    def idle_worker(policy, capacity=10):
+        maintainer = make_maintainer("gk_quantiles", epsilon=0.1)
+        return StreamWorker(
+            "s", maintainer, queue_capacity=capacity, backpressure=policy
+        )
+
+    def test_reject_raises_when_full(self):
+        worker = self.idle_worker("reject")
+        worker.submit(np.ones(10))
+        with pytest.raises(BackpressureError, match="queue full"):
+            worker.submit(np.ones(1))
+        assert worker.counters.rejected_batches == 1
+        assert worker.counters.rejected_points == 1
+        assert worker.counters.submitted_points == 10
+
+    def test_drop_oldest_evicts_from_the_front(self):
+        worker = self.idle_worker("drop_oldest", capacity=10)
+        worker.submit(np.full(5, 1.0))
+        worker.submit(np.full(5, 2.0))
+        worker.submit(np.full(5, 3.0))  # evicts the batch of 1.0s
+        assert worker.counters.dropped_points == 5
+        worker.start()
+        worker.flush()
+        worker.stop()
+        sample = worker.maintainer.synopsis()
+        assert len(sample) == 10  # only the surviving points were ingested
+        assert worker.counters.ingested_points == 10
+
+    def test_oversize_batch_enters_empty_queue(self):
+        worker = self.idle_worker("reject", capacity=4)
+        assert worker.submit(np.ones(32)) == 32
+        with pytest.raises(BackpressureError):
+            worker.submit(np.ones(1))
+
+    def test_block_policy_waits_for_space(self):
+        worker = self.idle_worker("block", capacity=8)
+        worker.submit(np.ones(8))
+        # The queue is full; a blocked producer must be released once the
+        # worker drains.
+        worker.start()
+        assert worker.submit(np.ones(8)) == 8
+        worker.flush()
+        worker.stop()
+        assert worker.counters.ingested_points == 16
+        assert worker.counters.dropped_points == 0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="backpressure"):
+            self.idle_worker("spill")
+
+    def test_worker_failure_propagates_to_producers(self):
+        maintainer = make_maintainer("equi_depth", num_buckets=4)
+        worker = StreamWorker("bad", maintainer, queue_capacity=64)
+        worker.start()
+        worker.submit(np.asarray([-5.0]))  # equi-depth rejects negatives
+        with pytest.raises(RuntimeError, match="worker failed"):
+            worker.flush()
+        with pytest.raises(RuntimeError, match="worker failed"):
+            worker.submit(np.ones(4))
+
+
+class TestCheckpointRestore:
+    def test_crash_recovery_matches_uninterrupted_run(self, tmp_path):
+        """Kill after a checkpoint, restore, finish: same final synopsis."""
+        stream = integer_stream(2000, seed=6)
+        params = dict(window_size=128, num_buckets=8, epsilon=0.25)
+
+        service = StreamService(snapshot_dir=tmp_path)
+        service.create_stream(
+            "cpu", backend="fixed_window", params=params, maintain_every=32
+        )
+        for start in range(0, 1200, 100):
+            service.ingest("cpu", stream[start : start + 100])
+        service.flush("cpu")
+        service.checkpoint("cpu")
+        # Post-checkpoint traffic that the "crash" will wipe out.
+        service.ingest("cpu", stream[1200:1400])
+        del service  # crash: no close(), no final checkpoint
+
+        restored = StreamService.restore(tmp_path)
+        restored.flush()
+        resume_from = restored.stats("cpu")["arrivals"]
+        assert resume_from == 1200
+        restored.ingest("cpu", stream[resume_from:])
+        restored.flush("cpu")
+        final = restored.synopsis("cpu")
+        restored.close(checkpoint=False)
+
+        direct = make_maintainer("fixed_window", **params)
+        StreamPipeline([direct], maintain_every=32).run(stream)
+        assert final.to_dict() == direct.synopsis().to_dict()
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_KWARGS))
+    def test_snapshot_round_trip_every_backend(self, backend, tmp_path):
+        stream = integer_stream(700, seed=sorted(BACKEND_KWARGS).index(backend))
+        with StreamService(snapshot_dir=tmp_path) as service:
+            service.create_stream(
+                "s", backend=backend, params=BACKEND_KWARGS[backend],
+                maintain_every=16,
+            )
+            service.ingest("s", stream[:400])
+            service.flush("s")
+            service.checkpoint("s")
+        restored = StreamService.restore(tmp_path)
+        restored.ingest("s", stream[400:])
+        restored.flush("s")
+        served = restored.synopsis("s")
+        restored.close(checkpoint=False)
+        direct = make_maintainer(backend, **BACKEND_KWARGS[backend])
+        pipeline = StreamPipeline([direct], maintain_every=16)
+        pipeline.run(stream)
+        assert_same_synopsis(served, reference_synopsis(direct))
+
+    def test_checkpoint_captures_buffered_tail(self, tmp_path):
+        """Points accepted but not yet ingested survive in the snapshot."""
+        maintainer = make_maintainer("gk_quantiles", epsilon=0.1)
+        worker = StreamWorker("t", maintainer, queue_capacity=512)
+        stream = integer_stream(300, seed=7)
+        worker.submit(stream[:200])
+        # Worker never started: everything is tail.
+        state, arrivals, tail = worker.checkpoint_state()
+        assert arrivals == 0
+        assert sum(len(batch) for batch in tail) == 200
+        restored = make_maintainer("gk_quantiles", epsilon=0.1)
+        restored.load_state_dict(state)
+        for batch in tail:
+            restored.extend(batch)
+        restored.extend(stream[200:300])
+        direct = make_maintainer("gk_quantiles", epsilon=0.1)
+        direct.extend(stream[:200])
+        direct.extend(stream[200:300])
+        assert restored.synopsis().to_dict() == direct.synopsis().to_dict()
+
+    def test_auto_checkpoint_cadence(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with StreamService(snapshot_dir=tmp_path) as service:
+            service.create_stream(
+                "s", backend="gk_quantiles", params=dict(epsilon=0.1),
+                checkpoint_every=100,
+            )
+            for _ in range(5):
+                service.ingest("s", integer_stream(100, seed=1))
+                service.flush("s")
+        assert "s" in store.streams()
+        payload = store.load_latest("s")
+        assert payload["arrivals"] >= 100
+
+    def test_close_takes_final_checkpoint(self, tmp_path):
+        service = StreamService(snapshot_dir=tmp_path)
+        service.create_stream("s", backend="exact", params=dict(window_size=32))
+        service.ingest("s", integer_stream(64, seed=2))
+        service.close()
+        payload = SnapshotStore(tmp_path).load_latest("s")
+        assert payload["arrivals"] == 64
+        assert payload["tail"] == []
+
+    def test_checkpoint_without_store_rejected(self):
+        with StreamService() as service:
+            service.create_stream("s", backend="exact", params=dict(window_size=8))
+            with pytest.raises(RuntimeError, match="snapshot_dir"):
+                service.checkpoint()
+
+
+class TestSnapshotStore:
+    def test_manifest_tracks_latest_and_prunes(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write("s", {"arrivals": 1, "state": {}, "tail": []})
+        store.write("s", {"arrivals": 2, "state": {}, "tail": []})
+        entry = store.manifest()["streams"]["s"]
+        assert entry["seq"] == 2
+        assert store.load_latest("s")["arrivals"] == 2
+        remaining = sorted(p.name for p in tmp_path.glob("s-*.json"))
+        assert remaining == ["s-00000002.json"]
+
+    def test_unknown_stream_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="nope"):
+            SnapshotStore(tmp_path).load_latest("nope")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"format": 99, "streams": {}})
+        )
+        with pytest.raises(ValueError, match="format"):
+            store.manifest()
+
+
+class TestServiceLifecycle:
+    def test_duplicate_stream_rejected(self):
+        with StreamService() as service:
+            service.create_stream("s", backend="exact", params=dict(window_size=8))
+            with pytest.raises(ValueError, match="already exists"):
+                service.create_stream(
+                    "s", backend="exact", params=dict(window_size=8)
+                )
+
+    def test_invalid_stream_name_rejected(self):
+        with StreamService() as service:
+            for bad in ("", "a/b", "a-b", "a b"):
+                with pytest.raises(ValueError, match="stream name"):
+                    service.create_stream(
+                        bad, backend="exact", params=dict(window_size=8)
+                    )
+
+    def test_spec_and_kwargs_are_exclusive(self):
+        spec = StreamSpec(backend="exact", params=dict(window_size=8))
+        with StreamService() as service:
+            with pytest.raises(ValueError, match="not both"):
+                service.create_stream("s", backend="exact", spec=spec)
+            service.create_stream("s", spec=spec)
+            assert service.spec("s").backend == "exact"
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="backpressure"):
+            StreamSpec(backend="exact", backpressure="nope")
+        with pytest.raises(ValueError, match="queue_capacity"):
+            StreamSpec(backend="exact", queue_capacity=0)
+        spec = StreamSpec(backend="exact", params=dict(window_size=8))
+        assert StreamSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_drop_stream(self):
+        with StreamService() as service:
+            service.create_stream("s", backend="exact", params=dict(window_size=8))
+            service.ingest("s", [1.0, 2.0])
+            service.drop_stream("s")
+            assert service.streams() == []
+            with pytest.raises(UnknownStreamError):
+                service.ingest("s", [3.0])
+
+    def test_create_after_close_rejected(self):
+        service = StreamService()
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.create_stream("s", backend="exact", params=dict(window_size=8))
