@@ -6,7 +6,11 @@ bounded queues while the per-stream workers drain them, for fleets of
 1 / 4 / 16 concurrent streams.  Reported per fleet size:
 
 * aggregate ingest throughput (points/second, submit-to-drained);
-* p50 / p99 enqueue latency (time a producer spent inside ``submit``).
+* p50 / p99 enqueue latency (time a producer spent inside ``submit``);
+* recovery time: a supervised stream is crashed mid-ingest with a seeded
+  :class:`FaultInjector` and the crash-observed-to-healthy wall time is
+  measured over several trials (the fault-tolerance subsystem's latency
+  budget: backoff + snapshot load + replay).
 
 Standalone:  ``PYTHONPATH=src python benchmarks/bench_service_throughput.py``
 writes ``BENCH_service.json`` in the current directory.
@@ -16,12 +20,14 @@ from __future__ import annotations
 
 import json
 import platform
+import statistics
 import sys
+import tempfile
 import threading
 import time
 
 from repro.datasets import att_utilization_stream
-from repro.service import StreamService
+from repro.service import FaultInjector, RestartPolicy, StreamService
 
 STREAM_COUNTS = (1, 4, 16)
 POINTS_PER_STREAM = 40_000
@@ -76,6 +82,91 @@ def run_fleet(num_streams: int) -> dict:
         }
 
 
+RECOVERY_TRIALS = 5
+RECOVERY_POLICY = RestartPolicy(
+    max_restarts=3, backoff_initial=0.01, backoff_factor=2.0, backoff_max=0.05
+)
+
+
+def run_recovery(trials: int = RECOVERY_TRIALS) -> dict:
+    """Crash a supervised stream mid-ingest; time crash -> healthy.
+
+    Each trial ingests one stream with a seeded crash somewhere in the
+    second half, then polls ``health()`` tightly: the clock starts at the
+    first non-healthy observation and stops at the first healthy one
+    after a completed restart.
+    """
+    stream = att_utilization_stream(POINTS_PER_STREAM, seed=7)
+    durations = []
+    for trial in range(trials):
+        with tempfile.TemporaryDirectory() as snapshot_dir:
+            injector = FaultInjector(seed=trial)
+            crash = POINTS_PER_STREAM // 2 + injector.crash_points(
+                POINTS_PER_STREAM // 4, count=1
+            )[0]
+            injector.crash_at(crash, stream="r")
+            service = StreamService(
+                snapshot_dir,
+                supervise=True,
+                restart_policy=RECOVERY_POLICY,
+                fault_injector=injector,
+            )
+            try:
+                service.create_stream(
+                    "r",
+                    backend=BACKEND,
+                    params=PARAMS,
+                    maintain_every=MAINTAIN_EVERY,
+                    queue_capacity=QUEUE_CAPACITY,
+                    checkpoint_every=POINTS_PER_STREAM // 8,
+                )
+
+                def produce() -> None:
+                    for start in range(0, POINTS_PER_STREAM, CHUNK):
+                        service.ingest("r", stream[start : start + CHUNK])
+                    service.flush("r")
+
+                producer = threading.Thread(target=produce)
+                producer.start()
+                crashed_at = healthy_at = None
+                deadline = time.perf_counter() + 60.0
+                while time.perf_counter() < deadline:
+                    health = service.health("r")
+                    now = time.perf_counter()
+                    if health["state"] != "healthy" and crashed_at is None:
+                        crashed_at = now
+                    if (
+                        crashed_at is not None
+                        and health["state"] == "healthy"
+                        and health["restarts"] >= 1
+                    ):
+                        healthy_at = now
+                        break
+                    time.sleep(0.0005)
+                producer.join()
+                if crashed_at is None or healthy_at is None:
+                    raise RuntimeError(
+                        f"recovery trial {trial}: crash at arrival {crash} "
+                        "was never observed to complete"
+                    )
+                durations.append(healthy_at - crashed_at)
+            finally:
+                service.close(checkpoint=False)
+    return {
+        "trials": trials,
+        "policy": {
+            "max_restarts": RECOVERY_POLICY.max_restarts,
+            "backoff_initial": RECOVERY_POLICY.backoff_initial,
+            "backoff_factor": RECOVERY_POLICY.backoff_factor,
+            "backoff_max": RECOVERY_POLICY.backoff_max,
+        },
+        "checkpoint_every": POINTS_PER_STREAM // 8,
+        "recovery_seconds_median": statistics.median(durations),
+        "recovery_seconds_min": min(durations),
+        "recovery_seconds_max": max(durations),
+    }
+
+
 def main(output_path: str = "BENCH_service.json") -> dict:
     results = []
     for num_streams in STREAM_COUNTS:
@@ -86,6 +177,13 @@ def main(output_path: str = "BENCH_service.json") -> dict:
             f"{result['points_per_second']:>12,.0f} points/s, "
             f"p99 enqueue {result['enqueue_p99_seconds'] * 1e6:8.1f} us"
         )
+    recovery = run_recovery()
+    print(
+        f"recovery (crash -> healthy): "
+        f"median {recovery['recovery_seconds_median'] * 1e3:.1f} ms, "
+        f"max {recovery['recovery_seconds_max'] * 1e3:.1f} ms "
+        f"over {recovery['trials']} trials"
+    )
     payload = {
         "benchmark": "service_throughput",
         "backend": BACKEND,
@@ -96,6 +194,7 @@ def main(output_path: str = "BENCH_service.json") -> dict:
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "results": results,
+        "recovery": recovery,
     }
     with open(output_path, "w") as handle:
         json.dump(payload, handle, indent=2)

@@ -61,6 +61,8 @@ from .runtime import (
 )
 from .service import (
     BackpressureError,
+    FaultInjector,
+    RestartPolicy,
     StreamService,
     StreamSpec,
 )
@@ -83,6 +85,7 @@ __all__ = [
     "BackpressureError",
     "Bucket",
     "ContinuousQueryEngine",
+    "FaultInjector",
     "FixedWindowHistogramBuilder",
     "DynamicWaveletHistogram",
     "GKQuantileSummary",
@@ -97,6 +100,7 @@ __all__ = [
     "RangeQuery",
     "Relation",
     "ReservoirSample",
+    "RestartPolicy",
     "SeriesIndex",
     "SlidingPrefixSums",
     "SlidingWindow",

@@ -205,7 +205,15 @@ class Maintainer(ABC):
 
     @abstractmethod
     def _ingest_batch(self, batch: np.ndarray) -> None:
-        """Feed a validated 1-D float batch into the backend."""
+        """Feed a validated 1-D float batch into the backend.
+
+        Exception-safety contract: implementations must validate before
+        they mutate -- a raising ``_ingest_batch`` leaves the backend
+        exactly as it was.  The service layer's poison-record quarantine
+        and crash recovery (:mod:`repro.service`) rely on this to
+        attribute a failure to the un-ingested points and to keep the
+        replayable arrival counter truthful.
+        """
 
     def _maintain(self) -> None:
         """Backend maintenance; default is a no-op (always-fresh synopses)."""

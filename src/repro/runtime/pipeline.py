@@ -197,15 +197,31 @@ class StreamPipeline:
                 self.maintain_every is not None
                 and self._arrivals % self.maintain_every == 0
             )
-            for maintainer, report in zip(self.maintainers, self._reports):
-                started = time.perf_counter()
-                if take == 1:
-                    maintainer.append(float(chunk[0]))
-                else:
-                    maintainer.extend(chunk)
-                if maintain_now:
+            fed = 0
+            try:
+                for maintainer, report in zip(self.maintainers, self._reports):
+                    started = time.perf_counter()
+                    if take == 1:
+                        maintainer.append(float(chunk[0]))
+                    else:
+                        maintainer.extend(chunk)
+                    report.maintenance_seconds += time.perf_counter() - started
+                    fed += 1
+            except BaseException:
+                if fed == 0:
+                    # No maintainer consumed the chunk (adapters validate
+                    # before they mutate), so roll the arrival counter
+                    # back: callers can then attribute the failure to
+                    # exactly the un-ingested points.  With several
+                    # maintainers a partial fan-out is not recoverable
+                    # and the counter keeps the applied position.
+                    self._arrivals -= take
+                raise
+            if maintain_now:
+                for maintainer, report in zip(self.maintainers, self._reports):
+                    started = time.perf_counter()
                     maintainer.maintain()
-                report.maintenance_seconds += time.perf_counter() - started
+                    report.maintenance_seconds += time.perf_counter() - started
             if maintain_now and self.on_maintain is not None:
                 self.on_maintain(self._arrivals, self)
             if self._checkpoint_due():

@@ -4,10 +4,18 @@ The serving layer over :mod:`repro.runtime`: a :class:`StreamService`
 hosts many named streams, each a registry-built maintainer behind a
 bounded ingest queue drained by a worker thread, with snapshot-isolated
 queries (``range_sum`` / ``quantile`` / ``histogram`` / ``stats``) and
-durable checkpoint/restore via JSON snapshots plus a manifest.  See
-``docs/API.md`` ("Service layer") and the README serving quickstart.
+durable checkpoint/restore via checksummed JSON snapshots plus a
+manifest.  The fault-tolerance subsystem -- worker supervision with
+bounded-backoff restarts (:class:`StreamSupervisor`), poison-record
+quarantine (:class:`DeadLetterBuffer`), snapshot generation fallback,
+per-stream health states, and the deterministic :class:`FaultInjector`
+chaos harness -- keeps hosted synopses exact across crashes.  See
+``docs/API.md`` ("Service layer" and "Fault tolerance") and the README
+serving quickstart.
 """
 
+from .deadletter import DeadLetterBuffer, DeadLetterRecord
+from .faults import FaultInjector, InjectedFault
 from .queries import (
     MaterializedView,
     UnsupportedQueryError,
@@ -17,19 +25,34 @@ from .queries import (
     view_range_sum,
 )
 from .service import StreamService, StreamSpec, UnknownStreamError
-from .snapshot import SnapshotStore
-from .stream_worker import BackpressureError, StreamWorker, WorkerCounters
+from .snapshot import SnapshotCorruptError, SnapshotStore
+from .stream_worker import (
+    BackpressureError,
+    StreamWorker,
+    WorkerCounters,
+    WorkerFailedError,
+)
+from .supervisor import RestartPolicy, StreamFailedError, StreamSupervisor
 
 __all__ = [
     "BackpressureError",
+    "DeadLetterBuffer",
+    "DeadLetterRecord",
+    "FaultInjector",
+    "InjectedFault",
     "MaterializedView",
+    "RestartPolicy",
+    "SnapshotCorruptError",
     "SnapshotStore",
+    "StreamFailedError",
     "StreamService",
     "StreamSpec",
+    "StreamSupervisor",
     "StreamWorker",
     "UnknownStreamError",
     "UnsupportedQueryError",
     "WorkerCounters",
+    "WorkerFailedError",
     "freeze_synopsis",
     "view_histogram",
     "view_quantile",

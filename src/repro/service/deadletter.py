@@ -1,0 +1,144 @@
+"""Poison-record quarantine: the per-stream dead-letter buffer.
+
+A record that raises during ingest no longer kills the stream worker
+(see :class:`~repro.service.stream_worker.StreamWorker`): the offending
+point is isolated, wrapped in a :class:`DeadLetterRecord` and parked in
+the stream's :class:`DeadLetterBuffer` while clean points keep flowing.
+The buffer is bounded (oldest records are evicted, counted), every
+quarantine and retry outcome is counted, and
+``StreamWorker.retry_dead_letters`` / ``StreamService.retry_dead_letters``
+re-feed the quarantined points in place.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["DeadLetterBuffer", "DeadLetterRecord"]
+
+
+@dataclass(frozen=True)
+class DeadLetterRecord:
+    """One quarantined stream point.
+
+    ``arrival`` is the stream position the point *would* have taken had
+    it been accepted (poison points do not advance the arrival counter,
+    so cadence stays aligned with a clean-stream run); ``error`` is the
+    repr of the exception that refused it.
+    """
+
+    value: float
+    error: str
+    arrival: int
+    quarantined_at: float
+
+
+class DeadLetterBuffer:
+    """Bounded, counted quarantine of one stream's poison records.
+
+    Thread-safe: the worker thread quarantines, any thread may read
+    records or counters, and retries drain through ``take_all``.
+    The buffer object survives worker restarts -- the supervisor hands
+    it to the replacement worker so poison history is never reset by a
+    crash.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._records: deque[DeadLetterRecord] = deque()
+        self._lock = threading.Lock()
+        self.poison_points = 0
+        self.poison_batches = 0
+        self.evicted_records = 0
+        self.retried_points = 0
+        self.retry_succeeded = 0
+        self.retry_failed = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Quarantine side (worker thread)
+    # ------------------------------------------------------------------
+
+    def quarantine(self, value: float, error: BaseException, arrival: int) -> None:
+        """Park one refused point; evicts the oldest record when full."""
+        record = DeadLetterRecord(
+            value=float(value),
+            error=repr(error),
+            arrival=int(arrival),
+            quarantined_at=time.time(),
+        )
+        with self._lock:
+            if len(self._records) >= self.capacity:
+                self._records.popleft()
+                self.evicted_records += 1
+            self._records.append(record)
+            self.poison_points += 1
+
+    def record_batch(self) -> None:
+        """Count one submitted batch that contained at least one poison point."""
+        with self._lock:
+            self.poison_batches += 1
+
+    # ------------------------------------------------------------------
+    # Inspection / retry side (any thread)
+    # ------------------------------------------------------------------
+
+    def records(self) -> list[DeadLetterRecord]:
+        """A snapshot of the quarantined records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def take_all(self) -> list[DeadLetterRecord]:
+        """Drain every record for a retry attempt."""
+        with self._lock:
+            records = list(self._records)
+            self._records.clear()
+            return records
+
+    def requarantine(self, record: DeadLetterRecord, error: BaseException) -> None:
+        """Put a record whose retry failed back, with the fresh error."""
+        updated = DeadLetterRecord(
+            value=record.value,
+            error=repr(error),
+            arrival=record.arrival,
+            quarantined_at=record.quarantined_at,
+        )
+        with self._lock:
+            if len(self._records) >= self.capacity:
+                self._records.popleft()
+                self.evicted_records += 1
+            self._records.append(updated)
+
+    def note_retry(self, succeeded: int, failed: int) -> None:
+        with self._lock:
+            self.retried_points += succeeded + failed
+            self.retry_succeeded += succeeded
+            self.retry_failed += failed
+
+    def clear(self) -> int:
+        """Drop every quarantined record; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._records)
+            self._records.clear()
+            return dropped
+
+    def counters(self) -> dict:
+        """JSON-friendly counter snapshot (reported inside worker stats)."""
+        with self._lock:
+            return {
+                "quarantined": len(self._records),
+                "poison_points": self.poison_points,
+                "poison_batches": self.poison_batches,
+                "evicted_records": self.evicted_records,
+                "retried_points": self.retried_points,
+                "retry_succeeded": self.retry_succeeded,
+                "retry_failed": self.retry_failed,
+            }

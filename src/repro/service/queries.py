@@ -38,11 +38,15 @@ class MaterializedView:
     ``arrivals`` is the number of stream points the synopsis reflects;
     ``created_at`` is the wall-clock materialization time.  Queries read
     views; ingestion replaces them -- neither ever mutates one.
+    ``stale`` marks a view served while its stream is down or replaying
+    a recovery backlog: the data is the last good answer, not the
+    current stream position.
     """
 
     synopsis: Any
     arrivals: int
     created_at: float
+    stale: bool = False
 
 
 def freeze_synopsis(synopsis):

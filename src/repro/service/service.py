@@ -10,15 +10,27 @@ Theorem 1's polylog-per-point maintenance is what makes it feasible to
 keep every hosted synopsis continuously queryable while the streams are
 live.
 
+With ``supervise=True`` the service also self-heals: a
+:class:`~repro.service.supervisor.StreamSupervisor` restarts dead
+workers from the newest verifiable snapshot generation with bounded
+exponential backoff and a restart budget, replaying the retained batch
+log so the recovered synopsis is bit-identical to an uninterrupted run.
+Poison records are quarantined per stream
+(:class:`~repro.service.deadletter.DeadLetterBuffer`) instead of
+killing workers, queries during recovery are answered from the last
+view marked ``stale``, and :meth:`StreamService.health` reports
+``healthy`` / ``degraded`` / ``failed`` per stream.
+
 Typical lifetime::
 
-    service = StreamService(snapshot_dir="snapshots/")
+    service = StreamService(snapshot_dir="snapshots/", supervise=True)
     service.create_stream(
         "cpu", backend="fixed_window",
         params=dict(window_size=1024, num_buckets=16, epsilon=0.1),
     )
     service.ingest("cpu", samples)          # any thread, backpressured
     service.range_sum("cpu", 100, 499)       # reads the materialized view
+    service.health("cpu")                    # healthy / degraded / failed
     service.checkpoint()                     # durable JSON + manifest
     ...                                      # crash / restart ...
     service = StreamService.restore("snapshots/")   # same state + tail
@@ -26,10 +38,13 @@ Typical lifetime::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass, field, replace
 from typing import Iterable
 
 from ..runtime.registry import make_maintainer
+from .deadletter import DeadLetterBuffer, DeadLetterRecord
+from .faults import FaultInjector
 from .queries import (
     MaterializedView,
     view_histogram,
@@ -37,7 +52,13 @@ from .queries import (
     view_range_sum,
 )
 from .snapshot import SnapshotStore
-from .stream_worker import BACKPRESSURE_POLICIES, StreamWorker
+from .stream_worker import (
+    BACKPRESSURE_POLICIES,
+    POISON_POLICIES,
+    StreamWorker,
+    WorkerFailedError,
+)
+from .supervisor import RestartPolicy, StreamSupervisor
 
 __all__ = ["StreamService", "StreamSpec", "UnknownStreamError"]
 
@@ -58,8 +79,10 @@ class StreamSpec:
 
     ``backend``/``params`` feed the maintainer registry
     (:func:`~repro.runtime.registry.make_maintainer`); the rest shapes
-    the worker: maintenance cadence, queue bound, full-queue policy, and
-    an optional automatic checkpoint cadence in ingested points.
+    the worker: maintenance cadence, queue bound, full-queue policy,
+    poison-record policy (``"quarantine"`` dead-letters offending
+    points, ``"fail"`` kills the worker), and an optional automatic
+    checkpoint cadence in ingested points.
     """
 
     backend: str
@@ -68,6 +91,7 @@ class StreamSpec:
     queue_capacity: int = 1024
     backpressure: str = "block"
     checkpoint_every: int | None = None
+    poison: str = "quarantine"
 
     def __post_init__(self) -> None:
         if self.maintain_every is not None and self.maintain_every < 1:
@@ -81,6 +105,11 @@ class StreamSpec:
             )
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1 (or None)")
+        if self.poison not in POISON_POLICIES:
+            raise ValueError(
+                f"unknown poison policy {self.poison!r}; "
+                f"use one of {POISON_POLICIES}"
+            )
 
     def build_maintainer(self):
         return make_maintainer(self.backend, **self.params)
@@ -93,6 +122,7 @@ class StreamSpec:
             "queue_capacity": self.queue_capacity,
             "backpressure": self.backpressure,
             "checkpoint_every": self.checkpoint_every,
+            "poison": self.poison,
         }
 
     @classmethod
@@ -104,18 +134,51 @@ class StreamSpec:
             queue_capacity=int(payload.get("queue_capacity", 1024)),
             backpressure=payload.get("backpressure", "block"),
             checkpoint_every=payload.get("checkpoint_every"),
+            poison=payload.get("poison", "quarantine"),
         )
 
 
 class StreamService:
-    """Concurrent host for many named synopsis streams."""
+    """Concurrent host for many named synopsis streams.
 
-    def __init__(self, snapshot_dir=None) -> None:
-        self._store = SnapshotStore(snapshot_dir) if snapshot_dir else None
+    ``supervise=True`` attaches a :class:`StreamSupervisor` (tune it
+    with ``restart_policy``); ``fault_injector`` threads a
+    :class:`FaultInjector` through every worker and the snapshot store;
+    ``snapshot_keep`` bounds the retained snapshot generations per
+    stream (>= 2 keeps a fallback behind the newest).
+    """
+
+    def __init__(
+        self,
+        snapshot_dir=None,
+        *,
+        supervise: bool = False,
+        restart_policy: RestartPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+        snapshot_keep: int = 2,
+    ) -> None:
+        if restart_policy is not None and not supervise:
+            raise ValueError("restart_policy requires supervise=True")
+        self._store = (
+            SnapshotStore(
+                snapshot_dir, keep=snapshot_keep, fault_injector=fault_injector
+            )
+            if snapshot_dir
+            else None
+        )
+        self._injector = fault_injector
         self._workers: dict[str, StreamWorker] = {}
         self._specs: dict[str, StreamSpec] = {}
         self._checkpoint_marks: dict[str, int] = {}
+        # Arrival positions of the retained snapshot generations; the
+        # oldest one bounds how far back the replay log must reach.
+        self._generation_arrivals: dict[str, deque] = {}
+        self._checkpoint_errors: dict[str, int] = {}
         self._closed = False
+        self._supervisor: StreamSupervisor | None = None
+        if supervise:
+            self._supervisor = StreamSupervisor(self, restart_policy)
+            self._supervisor.start()
 
     # ------------------------------------------------------------------
     # Stream management
@@ -135,7 +198,7 @@ class StreamService:
         Either pass a full :class:`StreamSpec` via ``spec`` or the
         ``backend``/``params`` pair plus spec fields as keyword options
         (``maintain_every``, ``queue_capacity``, ``backpressure``,
-        ``checkpoint_every``).
+        ``checkpoint_every``, ``poison``).
         """
         if spec is None:
             if backend is None:
@@ -144,6 +207,35 @@ class StreamService:
         elif backend is not None or params is not None or options:
             raise ValueError("pass either spec or backend/params/options, not both")
         return self._start_stream(name, spec, state=None, arrivals=0, tail=())
+
+    def _build_worker(
+        self,
+        name: str,
+        spec: StreamSpec,
+        *,
+        state: dict | None,
+        arrivals: int,
+        dead_letter: DeadLetterBuffer | None = None,
+    ) -> StreamWorker:
+        """A configured (not yet started) worker; shared with recovery."""
+        maintainer = spec.build_maintainer()
+        if state is not None:
+            maintainer.load_state_dict(state)
+        worker = StreamWorker(
+            name,
+            maintainer,
+            maintain_every=spec.maintain_every,
+            queue_capacity=spec.queue_capacity,
+            backpressure=spec.backpressure,
+            initial_arrivals=arrivals,
+            poison=spec.poison,
+            injector=self._injector,
+            track_replay=self._supervisor is not None,
+            dead_letter=dead_letter,
+        )
+        if state is not None:
+            worker.seed_view()
+        return worker
 
     def _start_stream(
         self,
@@ -161,19 +253,7 @@ class StreamService:
             )
         if name in self._workers:
             raise ValueError(f"stream {name!r} already exists")
-        maintainer = spec.build_maintainer()
-        if state is not None:
-            maintainer.load_state_dict(state)
-        worker = StreamWorker(
-            name,
-            maintainer,
-            maintain_every=spec.maintain_every,
-            queue_capacity=spec.queue_capacity,
-            backpressure=spec.backpressure,
-            initial_arrivals=arrivals,
-        )
-        if state is not None:
-            worker.seed_view()
+        worker = self._build_worker(name, spec, state=state, arrivals=arrivals)
         self._workers[name] = worker
         self._specs[name] = spec
         self._checkpoint_marks[name] = arrivals
@@ -189,6 +269,8 @@ class StreamService:
         del self._workers[name]
         del self._specs[name]
         del self._checkpoint_marks[name]
+        self._generation_arrivals.pop(name, None)
+        self._checkpoint_errors.pop(name, None)
 
     def streams(self) -> list[str]:
         """Hosted stream names, sorted."""
@@ -217,33 +299,128 @@ class StreamService:
         Safe to call from any thread.  Backpressure follows the stream's
         policy; with ``checkpoint_every`` configured, a durable
         checkpoint is taken whenever enough new points have been
-        *ingested* since the last one.
+        *ingested* since the last one.  On a supervised service, a
+        submit that hits a dead worker transparently waits for the
+        restarted replacement and retries.
         """
-        worker = self._worker(name)
-        accepted = worker.submit(values)
+        while True:
+            worker = self._worker(name)
+            try:
+                accepted = worker.submit(values)
+                break
+            except WorkerFailedError:
+                if self._supervisor is None:
+                    raise
+                self._supervisor.wait_recovered(name, worker)
         every = self._specs[name].checkpoint_every
         if every is not None and self._store is not None:
             if worker.arrivals - self._checkpoint_marks[name] >= every:
-                self.checkpoint(name)
+                try:
+                    self.checkpoint(name)
+                except (OSError, WorkerFailedError):
+                    # An automatic checkpoint must never fail the
+                    # producer; the miss is counted and the next cadence
+                    # (or an explicit checkpoint()) tries again.
+                    self._checkpoint_errors[name] = (
+                        self._checkpoint_errors.get(name, 0) + 1
+                    )
         return accepted
 
     def flush(self, name: str | None = None, timeout: float | None = None) -> bool:
-        """Wait until queued points are ingested (one stream or all)."""
-        workers = [self._worker(name)] if name else list(self._workers.values())
-        return all(worker.flush(timeout=timeout) for worker in workers)
+        """Wait until queued points are ingested (one stream or all).
+
+        On a supervised service this rides across worker restarts: a
+        flush that observes a dead worker waits for its replacement and
+        re-flushes, so a ``True`` return means the recovered backlog is
+        fully drained too.
+        """
+        names = [name] if name else self.streams()
+        drained = True
+        for stream_name in names:
+            while True:
+                worker = self._worker(stream_name)
+                try:
+                    drained = worker.flush(timeout=timeout) and drained
+                    break
+                except WorkerFailedError:
+                    if self._supervisor is None:
+                        raise
+                    self._supervisor.wait_recovered(stream_name, worker)
+        return drained
+
+    # ------------------------------------------------------------------
+    # Dead-letter quarantine
+    # ------------------------------------------------------------------
+
+    def dead_letters(self, name: str) -> list[DeadLetterRecord]:
+        """Quarantined poison records of a stream, oldest first."""
+        return self._worker(name).dead_letter.records()
+
+    def retry_dead_letters(self, name: str) -> dict:
+        """Re-feed a stream's quarantined records; returns outcome counts."""
+        return self._worker(name).retry_dead_letters()
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def health(self, name: str | None = None) -> dict:
+        """Health report (one stream or all streams keyed by name).
+
+        ``state`` is ``healthy`` (worker alive, backlog drained),
+        ``degraded`` (recovering / replaying; queries served from the
+        stale view), or ``failed`` (worker dead with no supervisor, or
+        restart budget exhausted).
+        """
+        if name is None:
+            return {n: self.health(n) for n in self.streams()}
+        worker = self._worker(name)
+        record = (
+            self._supervisor.snapshot(name)
+            if self._supervisor is not None
+            else {}
+        )
+        state = record.get("state")
+        if state is None:
+            state = "failed" if worker.failed else "healthy"
+        elif worker.failed and state != "failed":
+            state = "degraded"  # crash seen but not yet picked up
+        elif state == "degraded" and worker.queue_depth == 0:
+            state = "healthy"  # backlog drained; supervisor tick catches up
+        view = worker.view()
+        return {
+            "stream": name,
+            "state": state,
+            "restarts": record.get("restarts", 0),
+            "last_error": record.get("last_error")
+            or (repr(worker.error) if worker.failed else None),
+            "lossy_recovery": record.get("lossy_recovery", False),
+            "dead_letter": worker.dead_letter.counters(),
+            "checkpoint_errors": self._checkpoint_errors.get(name, 0),
+            "stale_view": bool(worker.failed or (view is not None and view.stale)),
+            "queue_depth": worker.queue_depth,
+        }
 
     # ------------------------------------------------------------------
     # Queries (snapshot-isolated: served from materialized views)
     # ------------------------------------------------------------------
 
     def view(self, name: str) -> MaterializedView:
-        """The stream's last materialized synopsis view."""
-        view = self._worker(name).view()
+        """The stream's last materialized synopsis view.
+
+        While a stream is down or recovering the last good view is
+        served with ``stale=True`` -- queries degrade, they do not
+        deadlock or error.
+        """
+        worker = self._worker(name)
+        view = worker.view()
         if view is None:
             raise ValueError(
                 f"stream {name!r} has no materialized synopsis yet "
                 "(nothing ingested)"
             )
+        if worker.failed and not view.stale:
+            return replace(view, stale=True)
         return view
 
     def synopsis(self, name: str):
@@ -277,7 +454,9 @@ class StreamService:
 
         Each snapshot captures the maintainer state at a batch boundary
         plus the buffered tail, so a restore replays exactly the points
-        the crashed service had accepted but not yet applied.
+        the crashed service had accepted but not yet applied.  After a
+        successful write the worker's replay log is trimmed to the
+        oldest retained snapshot generation.
         """
         if self._store is None:
             raise RuntimeError("service was created without a snapshot_dir")
@@ -294,10 +473,15 @@ class StreamService:
             }
             paths.append(str(self._store.write(stream_name, payload)))
             self._checkpoint_marks[stream_name] = arrivals
+            generations = self._generation_arrivals.setdefault(
+                stream_name, deque(maxlen=self._store.keep)
+            )
+            generations.append(arrivals)
+            worker.trim_replay(generations[0])
         return paths
 
     def restore_stream(self, name: str) -> StreamWorker:
-        """Recreate one stream from its latest snapshot."""
+        """Recreate one stream from its latest verifiable snapshot."""
         if self._store is None:
             raise RuntimeError("service was created without a snapshot_dir")
         payload = self._store.load_latest(name)
@@ -311,15 +495,18 @@ class StreamService:
         )
 
     @classmethod
-    def restore(cls, snapshot_dir) -> "StreamService":
+    def restore(cls, snapshot_dir, **kwargs) -> "StreamService":
         """Bring a whole service back from a snapshot directory.
 
         Every stream named in the manifest is rebuilt from its latest
-        snapshot and its buffered tail is re-enqueued, so the recovered
-        service converges to the state the crashed one would have
-        reached after draining its queues.
+        verifiable snapshot (corrupt newest generations fall back to the
+        previous good one) and its buffered tail is re-enqueued, so the
+        recovered service converges to the state the crashed one would
+        have reached after draining its queues.  Keyword arguments
+        (``supervise``, ``restart_policy``, ``fault_injector``,
+        ``snapshot_keep``) are forwarded to the constructor.
         """
-        service = cls(snapshot_dir=snapshot_dir)
+        service = cls(snapshot_dir=snapshot_dir, **kwargs)
         for name in service._store.streams():
             service.restore_stream(name)
         return service
@@ -329,21 +516,27 @@ class StreamService:
     # ------------------------------------------------------------------
 
     def close(self, checkpoint: bool | None = None) -> None:
-        """Drain and stop every worker.
+        """Drain and stop every worker (idempotent).
 
-        With a snapshot store attached, a final checkpoint is taken by
-        default once the queues are drained (pass ``checkpoint=False``
-        to skip it).
+        The supervisor (if any) is stopped first so no restart races the
+        shutdown.  With a snapshot store attached, a final checkpoint of
+        every *live* stream is taken by default once the queues are
+        drained (pass ``checkpoint=False`` to skip it); failed streams
+        are skipped rather than erroring the shutdown.
         """
         if self._closed:
             return
+        self._closed = True
+        if self._supervisor is not None:
+            self._supervisor.stop()
         for worker in self._workers.values():
             worker.stop(drain=True)
         if checkpoint is None:
             checkpoint = self._store is not None
         if checkpoint:
-            self.checkpoint()
-        self._closed = True
+            for name in self.streams():
+                if not self._workers[name].failed:
+                    self.checkpoint(name)
 
     def __enter__(self) -> "StreamService":
         return self

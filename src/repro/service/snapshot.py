@@ -1,40 +1,89 @@
-"""Durable checkpoint storage: JSON snapshots plus a manifest.
+"""Durable checkpoint storage: checksummed JSON snapshots plus a manifest.
 
 One directory holds everything a service needs to come back from a
 crash: a numbered snapshot file per checkpoint (stream spec, maintainer
 ``state_dict``, arrival counter, and the buffered-but-unprocessed tail)
 and a ``manifest.json`` naming the latest snapshot of every stream.
-Both are written atomically (temp file + ``os.replace``), so a crash
-mid-checkpoint leaves the previous snapshot intact -- the manifest never
-points at a torn file.
+Both are written atomically (temp file + ``fsync`` + ``os.replace``),
+so a crash mid-checkpoint leaves the previous snapshot intact -- the
+manifest never points at a torn file.
+
+Integrity is verified on every load: format-2 snapshots embed a sha256
+checksum over their canonical JSON body, and :meth:`SnapshotStore.
+load_latest` falls back generation by generation when the newest file
+is corrupt, truncated, missing, or fails its checksum -- the store
+retains the last ``keep`` generations per stream precisely so a single
+bad write (or disk bitrot) cannot take recovery down.  Corruption is a
+typed :class:`SnapshotCorruptError`; cleanup problems are logged and
+counted instead of silently swallowed.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
 import time
 from pathlib import Path
 
-__all__ = ["SnapshotStore"]
+__all__ = ["SnapshotCorruptError", "SnapshotStore"]
+
+logger = logging.getLogger(__name__)
 
 MANIFEST_NAME = "manifest.json"
-SNAPSHOT_FORMAT = 1
+SNAPSHOT_FORMAT = 2
+#: Formats this store can read; format 1 predates embedded checksums.
+SUPPORTED_FORMATS = (1, 2)
+CHECKSUM_FIELD = "checksum"
+
+
+class SnapshotCorruptError(ValueError):
+    """A snapshot or manifest failed structural / checksum validation."""
+
+
+def _payload_checksum(payload: dict) -> str:
+    """sha256 over the canonical JSON body (checksum field excluded)."""
+    body = {key: value for key, value in payload.items() if key != CHECKSUM_FIELD}
+    digest = hashlib.sha256(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+    return f"sha256:{digest}"
 
 
 def _atomic_write_json(path: Path, payload: dict) -> None:
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    with open(tmp, "w") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
 
 
 class SnapshotStore:
-    """Snapshot directory manager for one service."""
+    """Snapshot directory manager for one service.
 
-    def __init__(self, directory) -> None:
+    ``keep`` bounds the retained generations per stream (>= 1; the
+    default of 2 keeps one fallback generation behind the newest).  An
+    optional :class:`~repro.service.faults.FaultInjector` is consulted
+    before every write so chaos suites can fail snapshots on schedule.
+    """
+
+    def __init__(self, directory, *, keep: int = 2, fault_injector=None) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self._injector = fault_injector
         self._manifest_path = self.directory / MANIFEST_NAME
+        self.counters = {
+            "writes": 0,
+            "write_failures": 0,
+            "corrupt_snapshots": 0,
+            "fallback_loads": 0,
+            "cleanup_errors": 0,
+        }
 
     # ------------------------------------------------------------------
     # Manifest
@@ -44,9 +93,14 @@ class SnapshotStore:
         """The current manifest (empty skeleton if none exists yet)."""
         if not self._manifest_path.exists():
             return {"format": SNAPSHOT_FORMAT, "streams": {}}
-        manifest = json.loads(self._manifest_path.read_text())
-        if manifest.get("format") != SNAPSHOT_FORMAT:
-            raise ValueError(
+        try:
+            manifest = json.loads(self._manifest_path.read_text())
+        except json.JSONDecodeError as error:
+            raise SnapshotCorruptError(
+                f"manifest {self._manifest_path} is not valid JSON: {error}"
+            ) from error
+        if manifest.get("format") not in SUPPORTED_FORMATS:
+            raise SnapshotCorruptError(
                 f"unsupported snapshot format {manifest.get('format')!r}"
             )
         return manifest
@@ -64,7 +118,9 @@ class SnapshotStore:
 
         The snapshot file is written before the manifest entry, so a
         crash between the two at worst leaves an orphaned file, never a
-        dangling manifest reference.
+        dangling manifest reference.  Write failures (including injected
+        ones) are counted and re-raised; the previous generation and the
+        manifest are left untouched.
         """
         manifest = self.manifest()
         entry = manifest["streams"].get(name, {})
@@ -77,41 +133,114 @@ class SnapshotStore:
             "created_at": time.time(),
             **payload,
         }
+        payload[CHECKSUM_FIELD] = _payload_checksum(payload)
         path = self.directory / filename
-        _atomic_write_json(path, payload)
-        manifest["streams"][name] = {
-            "file": filename,
-            "seq": seq,
-            "arrivals": payload.get("arrivals", 0),
-            "created_at": payload["created_at"],
-        }
-        _atomic_write_json(self._manifest_path, manifest)
-        self._prune(name, keep_before=filename)
+        try:
+            if self._injector is not None:
+                self._injector.on_snapshot_write(name, seq)
+            _atomic_write_json(path, payload)
+            manifest["streams"][name] = {
+                "file": filename,
+                "seq": seq,
+                "arrivals": payload.get("arrivals", 0),
+                "created_at": payload["created_at"],
+                CHECKSUM_FIELD: payload[CHECKSUM_FIELD],
+            }
+            _atomic_write_json(self._manifest_path, manifest)
+        except OSError:
+            self.counters["write_failures"] += 1
+            raise
+        self.counters["writes"] += 1
+        self._prune(name)
         return path
 
     def load_latest(self, name: str) -> dict:
-        """The most recent snapshot payload of ``name``."""
+        """The most recent *verifiable* snapshot payload of ``name``.
+
+        Tries the manifest's newest generation first, then falls back to
+        older on-disk generations (newest first) whenever a file is
+        corrupt, truncated, missing, or fails its checksum.  Raises
+        ``KeyError`` when the stream has no snapshot at all and
+        :class:`SnapshotCorruptError` when every generation is bad.
+        """
+        candidates: list[Path] = []
         entry = self.manifest()["streams"].get(name)
-        if entry is None:
+        if entry is not None:
+            candidates.append(self.directory / entry["file"])
+        for path in sorted(self.generations(name), reverse=True):
+            if path not in candidates:
+                candidates.append(path)
+        if not candidates:
             raise KeyError(f"no snapshot recorded for stream {name!r}")
-        path = self.directory / entry["file"]
-        payload = json.loads(path.read_text())
-        if payload.get("format") != SNAPSHOT_FORMAT:
-            raise ValueError(
+        failures: list[str] = []
+        for position, path in enumerate(candidates):
+            try:
+                payload = self._load_verified(path, name)
+            except SnapshotCorruptError as error:
+                self.counters["corrupt_snapshots"] += 1
+                logger.warning("snapshot %s rejected: %s", path.name, error)
+                failures.append(f"{path.name}: {error}")
+                continue
+            if position > 0:
+                self.counters["fallback_loads"] += 1
+                logger.warning(
+                    "stream %r: fell back to snapshot generation %s",
+                    name, path.name,
+                )
+            return payload
+        raise SnapshotCorruptError(
+            f"every snapshot generation of stream {name!r} is corrupt: "
+            + "; ".join(failures)
+        )
+
+    def generations(self, name: str) -> list[Path]:
+        """On-disk snapshot files of ``name``, oldest first."""
+        return sorted(self.directory.glob(f"{name}-*.json"))
+
+    def _load_verified(self, path: Path, name: str) -> dict:
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise SnapshotCorruptError(
+                f"unreadable snapshot {path.name}: {error}"
+            ) from error
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SnapshotCorruptError(
+                f"snapshot {path.name} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise SnapshotCorruptError(
+                f"snapshot {path.name} is not a JSON object"
+            )
+        if payload.get("format") not in SUPPORTED_FORMATS:
+            raise SnapshotCorruptError(
                 f"unsupported snapshot format {payload.get('format')!r}"
             )
         if payload.get("stream") != name:
-            raise ValueError(
+            raise SnapshotCorruptError(
                 f"snapshot {path.name} belongs to stream "
                 f"{payload.get('stream')!r}, not {name!r}"
             )
+        if payload.get("format", 0) >= 2:
+            stored = payload.get(CHECKSUM_FIELD)
+            expected = _payload_checksum(payload)
+            if stored != expected:
+                raise SnapshotCorruptError(
+                    f"checksum mismatch in {path.name}: "
+                    f"stored {stored!r}, computed {expected!r}"
+                )
         return payload
 
-    def _prune(self, name: str, keep_before: str) -> None:
-        """Drop superseded snapshot files of one stream (best effort)."""
-        for stale in self.directory.glob(f"{name}-*.json"):
-            if stale.name != keep_before:
-                try:
-                    stale.unlink()
-                except OSError:
-                    pass
+    def _prune(self, name: str) -> None:
+        """Drop generations beyond ``keep``, counting (not hiding) errors."""
+        files = self.generations(name)
+        for stale in files[: max(0, len(files) - self.keep)]:
+            try:
+                stale.unlink()
+            except OSError as error:
+                self.counters["cleanup_errors"] += 1
+                logger.warning(
+                    "could not remove stale snapshot %s: %s", stale, error
+                )

@@ -15,6 +15,27 @@ Backpressure when the queue is full is configurable:
 * ``"drop_oldest"`` -- the oldest queued batches are evicted to make
   room (freshest-data-wins, for monitoring workloads).
 
+Failure handling splits along one line: *data* errors and *worker*
+errors.  A record that raises during ingest is poison, not a crash --
+under the default ``poison="quarantine"`` policy the failing batch is
+re-fed point by point, offending points land in the stream's
+:class:`~repro.service.deadletter.DeadLetterBuffer` (counted, bounded,
+retryable) and clean points keep flowing.  Quarantined points never
+advance the arrival counter, so maintenance cadence stays aligned with
+a clean-stream run.  Everything else -- an :class:`InjectedFault`, a
+failure that cannot be attributed to an un-ingested point, any error
+under ``poison="fail"`` -- is fatal: the un-applied remainder of the
+in-flight batch is pushed back onto the queue, the error is published
+to producers as :class:`WorkerFailedError`, and the worker thread dies
+for the supervisor to find.
+
+For supervised recovery the worker can keep a *replay buffer*
+(``track_replay=True``): every successfully ingested batch is retained,
+stamped with its start arrival, until the service trims it at a
+checkpoint.  Restoring the last durable snapshot and re-feeding the
+replay suffix reproduces the lost worker bit-exactly -- the same
+determinism argument that makes the synopses checkpointable at all.
+
 Every decision is counted (:class:`WorkerCounters`): points submitted /
 ingested / dropped, batches rejected, enqueue wait time, and a ring of
 recent enqueue latencies for percentile reporting.
@@ -25,22 +46,39 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..core.prefix import as_stream_batch
 from ..runtime.maintainer import Maintainer
 from ..runtime.pipeline import StreamPipeline
+from .deadletter import DeadLetterBuffer
+from .faults import FaultInjector, InjectedFault
 from .queries import MaterializedView, freeze_synopsis
 
-__all__ = ["BackpressureError", "StreamWorker", "WorkerCounters"]
+__all__ = [
+    "BackpressureError",
+    "StreamWorker",
+    "WorkerCounters",
+    "WorkerFailedError",
+]
 
 BACKPRESSURE_POLICIES = ("block", "reject", "drop_oldest")
+POISON_POLICIES = ("quarantine", "fail")
 
 
 class BackpressureError(RuntimeError):
     """A ``reject``-policy queue refused a batch because it was full."""
+
+
+class WorkerFailedError(RuntimeError):
+    """The stream's worker thread died; producers must not keep feeding it.
+
+    Carries the original failure as ``__cause__``.  A supervised
+    service intercepts this, waits for the restarted worker, and
+    retries the submit transparently.
+    """
 
 
 @dataclass
@@ -88,7 +126,13 @@ class StreamWorker:
     ``backpressure`` picks the full-queue policy, ``maintain_every`` is
     forwarded to the internal pipeline, and ``initial_arrivals`` resumes
     the arrival counter of a restored checkpoint so cadence events keep
-    firing at the same absolute stream positions.
+    firing at the same absolute stream positions.  ``poison`` selects
+    what an ingest error does (``"quarantine"`` records, the default, or
+    ``"fail"`` the worker); ``injector`` threads a
+    :class:`~repro.service.faults.FaultInjector` through the feed path;
+    ``track_replay`` retains ingested batches for supervised recovery;
+    ``dead_letter`` lets a supervisor carry the quarantine buffer across
+    a restart.
     """
 
     def __init__(
@@ -100,6 +144,11 @@ class StreamWorker:
         queue_capacity: int = 1024,
         backpressure: str = "block",
         initial_arrivals: int = 0,
+        poison: str = "quarantine",
+        injector: FaultInjector | None = None,
+        track_replay: bool = False,
+        dead_letter: DeadLetterBuffer | None = None,
+        dead_letter_capacity: int = 1024,
     ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
@@ -108,11 +157,24 @@ class StreamWorker:
                 f"unknown backpressure policy {backpressure!r}; "
                 f"use one of {BACKPRESSURE_POLICIES}"
             )
+        if poison not in POISON_POLICIES:
+            raise ValueError(
+                f"unknown poison policy {poison!r}; use one of {POISON_POLICIES}"
+            )
         self.name = name
         self.maintainer = maintainer
         self.queue_capacity = queue_capacity
         self.backpressure = backpressure
+        self.poison = poison
         self.counters = WorkerCounters()
+        self.dead_letter = (
+            dead_letter
+            if dead_letter is not None
+            else DeadLetterBuffer(capacity=dead_letter_capacity)
+        )
+        self._injector = injector
+        self._track_replay = track_replay
+        self._replay: list[tuple[int, np.ndarray]] = []
         self._pipeline = StreamPipeline(
             [maintainer],
             maintain_every=maintain_every,
@@ -121,6 +183,7 @@ class StreamWorker:
         self._queue: deque[np.ndarray] = deque()
         self._queued_points = 0
         self._in_flight: np.ndarray | None = None
+        self._fatal_leftover: np.ndarray | None = None
         self._cv = threading.Condition()
         # Held by the worker around each pipeline feed and by checkpoint
         # readers; guarantees a checkpoint never sees a half-applied batch.
@@ -144,7 +207,12 @@ class StreamWorker:
             self._thread.start()
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the worker; with ``drain`` (default) finish queued work."""
+        """Stop the worker; with ``drain`` (default) finish queued work.
+
+        Idempotent: repeated ``stop``/``close`` calls, stop before
+        start, and stop after a worker failure are all safe no-ops
+        beyond the first effective shutdown.
+        """
         with self._cv:
             if not drain:
                 self.counters.dropped_points += self._queued_points
@@ -152,13 +220,33 @@ class StreamWorker:
                 self._queued_points = 0
             self._stop_requested = True
             self._cv.notify_all()
-        if self._started:
+        if self._started and self._thread.is_alive():
             self._thread.join()
+
+    def close(self) -> None:
+        """Alias for :meth:`stop` with the default drain-then-stop."""
+        self.stop(drain=True)
 
     @property
     def arrivals(self) -> int:
         """Points the maintainer has actually consumed so far."""
         return self._pipeline.arrivals
+
+    @property
+    def failed(self) -> bool:
+        """True once the worker thread has died on a fatal error."""
+        return self._error is not None
+
+    @property
+    def error(self) -> BaseException | None:
+        """The fatal error that killed the worker, if any."""
+        return self._error
+
+    @property
+    def queue_depth(self) -> int:
+        """Points currently waiting in the queue."""
+        with self._cv:
+            return self._queued_points
 
     # ------------------------------------------------------------------
     # Producer side
@@ -213,6 +301,29 @@ class StreamWorker:
             self._cv.notify_all()
         return batch.size
 
+    def preload(self, batches) -> int:
+        """Stage batches ahead of any live traffic, bypassing capacity.
+
+        Only valid before :meth:`start`; used by restore/recovery to
+        enqueue the replay suffix and a dead worker's pending queue
+        before producers can reach the replacement.
+        """
+        if self._started:
+            raise RuntimeError("preload is only valid before start()")
+        total = 0
+        with self._cv:
+            for values in batches:
+                batch = as_stream_batch(values)
+                if batch.size == 0:
+                    continue
+                self._queue.append(batch)
+                self._queued_points += batch.size
+                total += batch.size
+            self.counters.max_queue_depth = max(
+                self.counters.max_queue_depth, self._queued_points
+            )
+        return total
+
     def _fits(self, size: int) -> bool:
         # An oversize batch may enter an *empty* queue so it can always
         # make progress; otherwise the point bound is respected.
@@ -235,7 +346,7 @@ class StreamWorker:
 
     def _raise_if_failed(self) -> None:
         if self._error is not None:
-            raise RuntimeError(
+            raise WorkerFailedError(
                 f"stream {self.name!r} worker failed: {self._error!r}"
             ) from self._error
 
@@ -255,19 +366,90 @@ class StreamWorker:
                 self._cv.notify_all()
             try:
                 with self._state_lock:
-                    self._pipeline.extend(batch)
-                    self.counters.ingested_points += batch.size
+                    ingested = self._feed(batch)
+                    self.counters.ingested_points += ingested
                     self.counters.drained_batches += 1
                     self._materialize()
                     with self._cv:
                         self._in_flight = None
                         self._cv.notify_all()
             except BaseException as error:  # noqa: B036 - surfaced to producers
+                leftover = self._fatal_leftover
+                self._fatal_leftover = None
                 with self._cv:
+                    if leftover is not None and leftover.size:
+                        # The un-applied remainder goes back to the queue
+                        # front so a supervisor restart loses nothing.
+                        self._queue.appendleft(np.asarray(leftover))
+                        self._queued_points += int(leftover.size)
                     self._error = error
                     self._in_flight = None
                     self._cv.notify_all()
                 break
+
+    def _feed(self, batch: np.ndarray) -> int:
+        """Feed one batch; returns the number of points ingested.
+
+        Poison handling: an ingest error under ``poison="quarantine"``
+        re-feeds the un-applied remainder point by point, quarantining
+        the offenders.  Fatal paths (injected crashes, ``poison="fail"``,
+        errors not attributable to an un-ingested point) leave the
+        remainder in ``_fatal_leftover`` and re-raise.
+        """
+        start = self._pipeline.arrivals
+        self._fatal_leftover = batch
+        if self._injector is not None:
+            self._injector.on_ingest(self.name, start, int(batch.size))
+        try:
+            self._pipeline.extend(batch)
+        except Exception as error:
+            # The pipeline rolls its arrival counter back when the feed
+            # failed before the maintainer ingested anything, so the gap
+            # between counters is exactly the applied prefix.
+            applied = self._pipeline.arrivals - start
+            if applied and self._track_replay:
+                self._replay.append((start, batch[:applied].copy()))
+            rest = batch[applied:]
+            self._fatal_leftover = rest
+            if (
+                isinstance(error, InjectedFault)
+                or self.poison != "quarantine"
+                or rest.size == 0
+            ):
+                raise
+            self._fatal_leftover = None
+            clean = self._quarantine_rest(rest)
+            self.dead_letter.record_batch()
+            return applied + clean
+        if self._track_replay:
+            self._replay.append((start, batch.copy()))
+        self._fatal_leftover = None
+        return int(batch.size)
+
+    def _quarantine_rest(self, rest: np.ndarray) -> int:
+        """Per-point isolation of a failing batch remainder."""
+        clean = 0
+        for i in range(rest.size):
+            value = float(rest[i])
+            start = self._pipeline.arrivals
+            point = np.asarray([value], dtype=np.float64)
+            try:
+                self._pipeline.extend(point)
+            except Exception as error:
+                if self._pipeline.arrivals > start:
+                    # The point *was* ingested and something after it
+                    # (maintenance) failed: not poison. Escalate with
+                    # the untouched remainder preserved for replay.
+                    if self._track_replay:
+                        self._replay.append((start, point))
+                    self._fatal_leftover = rest[i + 1 :]
+                    raise
+                self.dead_letter.quarantine(value, error, start)
+            else:
+                if self._track_replay:
+                    self._replay.append((start, point))
+                clean += 1
+        return clean
 
     def _materialize(self) -> None:
         """Refresh the queryable view from the maintainer.
@@ -297,6 +479,48 @@ class StreamWorker:
         """
         with self._state_lock:
             self._materialize()
+
+    def adopt_view(self, view: MaterializedView) -> None:
+        """Serve a predecessor's view (marked stale) until fresh data lands.
+
+        Used by the supervisor so queries keep answering while a
+        restarted stream replays its backlog.
+        """
+        with self._view_lock:
+            self._view = replace(view, stale=True)
+
+    # ------------------------------------------------------------------
+    # Dead-letter retry
+    # ------------------------------------------------------------------
+
+    def retry_dead_letters(self) -> dict:
+        """Re-feed every quarantined record in place.
+
+        Records that ingest cleanly leave the buffer (appended at the
+        current stream position); records that fail again are
+        re-quarantined with the fresh error.  Returns outcome counts.
+        """
+        self._raise_if_failed()
+        records = self.dead_letter.take_all()
+        succeeded = failed = 0
+        with self._state_lock:
+            for record in records:
+                start = self._pipeline.arrivals
+                point = np.asarray([record.value], dtype=np.float64)
+                try:
+                    self._pipeline.extend(point)
+                except Exception as error:
+                    self.dead_letter.requarantine(record, error)
+                    failed += 1
+                else:
+                    if self._track_replay:
+                        self._replay.append((start, point))
+                    self.counters.ingested_points += 1
+                    succeeded += 1
+            if succeeded:
+                self._materialize()
+        self.dead_letter.note_retry(succeeded, failed)
+        return {"retried": len(records), "succeeded": succeeded, "failed": failed}
 
     # ------------------------------------------------------------------
     # Reader side
@@ -328,6 +552,43 @@ class StreamWorker:
                     tail,
                 )
 
+    # ------------------------------------------------------------------
+    # Recovery side (supervisor)
+    # ------------------------------------------------------------------
+
+    def replay_batches(self) -> list[tuple[int, np.ndarray]]:
+        """The retained (start_arrival, batch) replay log, oldest first."""
+        with self._state_lock:
+            return list(self._replay)
+
+    def trim_replay(self, min_arrival: int) -> None:
+        """Drop replay batches that start before ``min_arrival``.
+
+        The service calls this after a durable checkpoint: only the
+        suffix needed to roll forward from the *oldest retained*
+        snapshot generation has to stay in memory.
+        """
+        with self._state_lock:
+            self._replay = [
+                (start, batch) for start, batch in self._replay
+                if start >= min_arrival
+            ]
+
+    def drain_pending(self) -> list[np.ndarray]:
+        """Take ownership of the not-yet-ingested queue (recovery path).
+
+        Marks the worker stopped so any still-blocked producer is
+        released (it will observe the failure and retry through the
+        supervisor).
+        """
+        with self._cv:
+            pending = list(self._queue)
+            self._queue.clear()
+            self._queued_points = 0
+            self._stop_requested = True
+            self._cv.notify_all()
+        return pending
+
     def stats(self) -> dict:
         """Unified ingest / maintenance / queue telemetry."""
         with self._cv:
@@ -339,8 +600,11 @@ class StreamWorker:
             "queue_depth": queue_depth,
             "backpressure": self.backpressure,
             "queue_capacity": self.queue_capacity,
+            "poison": self.poison,
+            "failed": self.failed,
             "maintainer": maintainer_stats.counters(),
             "ingest_seconds": maintainer_stats.ingest_seconds,
             "maintain_seconds": maintainer_stats.maintain_seconds,
+            "dead_letter": self.dead_letter.counters(),
             **self.counters.to_dict(),
         }

@@ -1,0 +1,294 @@
+"""Chaos suite: deterministic fault injection against the stream service.
+
+The acceptance bar for the fault-tolerance subsystem: with a seeded
+:class:`FaultInjector` killing each backend's worker mid-stream and
+corrupting the newest snapshot generation, a supervised
+:class:`StreamService` auto-recovers and every recovered synopsis equals
+a direct :class:`StreamPipeline` run over the same data -- exactly for
+the deterministic backends and bit-exactly (including generator state)
+for the reservoir sample.  The suite also pins the failure-mode edges:
+restart-budget exhaustion, queries during recovery, injected snapshot
+write failures, slow-ingest faults, and schedule reproducibility.
+
+Faults fire at exact stream positions, never wall-clock times, so every
+test here is deterministic modulo thread scheduling -- and the
+equivalence assertions are immune even to that, because replay re-feeds
+the exact same points at the exact same arrival positions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runtime import StreamPipeline, make_maintainer
+from repro.service import (
+    FaultInjector,
+    RestartPolicy,
+    StreamFailedError,
+    StreamService,
+)
+
+pytestmark = pytest.mark.chaos
+
+BACKEND_KWARGS = {
+    "fixed_window": dict(window_size=64, num_buckets=8, epsilon=0.25),
+    "agglomerative": dict(num_buckets=8, epsilon=0.25),
+    "wavelet": dict(window_size=64, budget=8),
+    "dynamic_wavelet": dict(domain_size=128, budget=8),
+    "gk_quantiles": dict(epsilon=0.05),
+    "equi_depth": dict(num_buckets=8),
+    "reservoir": dict(capacity=32),
+    "exact": dict(window_size=64),
+}
+
+FAST_RESTARTS = RestartPolicy(
+    max_restarts=3, backoff_initial=0.01, backoff_factor=2.0, backoff_max=0.05
+)
+
+
+def integer_stream(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100, size=n).astype(float)
+
+
+def reference_synopsis(maintainer):
+    """What a service view would serve: the last-maintained synopsis."""
+    produce = getattr(maintainer, "last_synopsis", None)
+    return produce() if produce is not None else maintainer.synopsis()
+
+
+def assert_same_synopsis(a, b):
+    if hasattr(a, "to_dict"):
+        assert a.to_dict() == b.to_dict()
+    elif hasattr(a, "quantiles"):
+        assert a.quantiles(5) == b.quantiles(5)
+    else:
+        assert a.range_sum(0, len(a) - 1) == b.range_sum(0, len(b) - 1)
+
+
+def direct_run(backend, stream, maintain_every=32):
+    maintainer = make_maintainer(backend, **BACKEND_KWARGS[backend])
+    StreamPipeline([maintainer], maintain_every=maintain_every).run(stream)
+    return reference_synopsis(maintainer)
+
+
+def wait_for_state(service, name, state, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    seen = None
+    while time.monotonic() < deadline:
+        seen = service.health(name)["state"]
+        if seen == state:
+            return seen
+        time.sleep(0.005)
+    return seen
+
+
+class TestCrashRecoveryEquivalence:
+    """The headline guarantee: crash + corrupt snapshot, exact recovery."""
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_KWARGS))
+    def test_crash_and_corrupt_newest_snapshot(self, backend, tmp_path):
+        stream = integer_stream(1200, seed=21)
+        injector = FaultInjector(seed=101)
+        # Seeded crash point in the post-checkpoint tail of the stream.
+        crash_arrival = 800 + injector.crash_points(400, count=1)[0]
+        injector.crash_at(crash_arrival, stream="s")
+        with StreamService(
+            tmp_path,
+            supervise=True,
+            restart_policy=FAST_RESTARTS,
+            fault_injector=injector,
+        ) as service:
+            service.create_stream(
+                "s", backend=backend, params=BACKEND_KWARGS[backend],
+                maintain_every=32,
+            )
+            for boundary in (400, 800):
+                service.ingest("s", stream[boundary - 400 : boundary])
+                service.flush("s")
+                paths = service.checkpoint("s")
+            # Corrupt the newest generation: recovery must fall back to
+            # the previous one and roll forward through the replay log.
+            Path(paths[0]).write_text("}corrupt, not a snapshot{")
+            for start in range(800, 1200, 50):
+                service.ingest("s", stream[start : start + 50])
+            assert service.flush("s") is True
+            health = service.health("s")
+            assert health["state"] == "healthy"
+            assert health["restarts"] == 1
+            assert health["lossy_recovery"] is False
+            assert service.stats("s")["arrivals"] == 1200
+            crashes = [e for e in injector.events if e["kind"] == "crash"]
+            assert len(crashes) == 1 and crashes[0]["stream"] == "s"
+            counters = service._store.counters
+            assert counters["corrupt_snapshots"] >= 1
+            assert counters["fallback_loads"] >= 1
+            served = service.synopsis("s")
+        assert_same_synopsis(served, direct_run(backend, stream))
+
+    def test_crash_without_snapshots_replays_from_scratch(self):
+        stream = integer_stream(600, seed=5)
+        injector = FaultInjector().crash_at(300, stream="s")
+        with StreamService(
+            supervise=True, restart_policy=FAST_RESTARTS,
+            fault_injector=injector,
+        ) as service:
+            service.create_stream(
+                "s", backend="fixed_window",
+                params=BACKEND_KWARGS["fixed_window"], maintain_every=16,
+            )
+            for start in range(0, 600, 40):
+                service.ingest("s", stream[start : start + 40])
+            service.flush("s")
+            assert service.health("s")["state"] == "healthy"
+            assert service.health("s")["restarts"] == 1
+            served = service.synopsis("s")
+        assert_same_synopsis(
+            served, direct_run("fixed_window", stream, maintain_every=16)
+        )
+
+    def test_seeded_schedule_is_reproducible(self):
+        first = FaultInjector(seed=7).crash_points(1000, count=3)
+        second = FaultInjector(seed=7).crash_points(1000, count=3)
+        assert first == second
+        assert len(first) == 3
+        assert all(1 <= point < 1000 for point in first)
+
+
+class TestRestartBudget:
+    """A crash loop must end in ``failed``, not spin forever."""
+
+    def test_budget_exhaustion_fails_stream_but_serves_stale(self):
+        stream = integer_stream(300, seed=9)
+        injector = FaultInjector().crash_at(150, stream="s", times=50)
+        policy = RestartPolicy(
+            max_restarts=2, backoff_initial=0.01, backoff_max=0.02
+        )
+        service = StreamService(
+            supervise=True, restart_policy=policy, fault_injector=injector
+        )
+        try:
+            service.create_stream(
+                "s", backend="gk_quantiles", params=dict(epsilon=0.1),
+                maintain_every=16,
+            )
+            service.ingest("s", stream[:100])
+            service.flush("s")
+            with pytest.raises(StreamFailedError, match="restart budget"):
+                for start in range(100, 300, 50):
+                    service.ingest("s", stream[start : start + 50])
+                service.flush("s")
+            health = service.health("s")
+            assert health["state"] == "failed"
+            assert health["restarts"] == 2
+            assert health["stale_view"] is True
+            assert "injected crash" in health["last_error"]
+            # The last good view still answers queries, marked stale.
+            assert service.view("s").stale is True
+            assert np.isfinite(service.quantile("s", 0.5))
+        finally:
+            service.close()
+
+
+class TestQueryDuringRecovery:
+    """Queries during a restart degrade to the stale view, never block."""
+
+    def test_stale_view_served_mid_recovery(self, tmp_path):
+        stream = integer_stream(900, seed=3)
+        injector = FaultInjector().crash_at(450, stream="s")
+        # A wide, non-growing backoff keeps the stream visibly degraded
+        # long enough for the main thread to query mid-recovery.
+        policy = RestartPolicy(
+            max_restarts=3, backoff_initial=0.35, backoff_factor=1.0,
+            backoff_max=0.35,
+        )
+        service = StreamService(
+            tmp_path, supervise=True, restart_policy=policy,
+            fault_injector=injector,
+        )
+        try:
+            service.create_stream(
+                "s", backend="fixed_window",
+                params=BACKEND_KWARGS["fixed_window"], maintain_every=16,
+                checkpoint_every=200,
+            )
+            service.ingest("s", stream[:400])
+            service.flush("s")
+            assert service.view("s").stale is False
+
+            def produce():
+                for start in range(400, 900, 50):
+                    service.ingest("s", stream[start : start + 50])
+                service.flush("s")
+
+            producer = threading.Thread(target=produce)
+            producer.start()
+            assert wait_for_state(service, "s", "degraded", timeout=5.0) == (
+                "degraded"
+            )
+            # Mid-recovery: the last good view answers, marked stale.
+            view = service.view("s")
+            assert view.stale is True
+            assert np.isfinite(service.quantile("s", 0.5))
+            assert service.health("s")["stale_view"] is True
+            producer.join(timeout=30.0)
+            assert not producer.is_alive()
+            assert wait_for_state(service, "s", "healthy", timeout=10.0) == (
+                "healthy"
+            )
+            assert service.view("s").stale is False
+            served = service.synopsis("s")
+        finally:
+            service.close()
+        assert_same_synopsis(
+            served, direct_run("fixed_window", stream, maintain_every=16)
+        )
+
+
+class TestSnapshotWriteFaults:
+    """Injected snapshot write failures are counted, never producer-fatal."""
+
+    def test_auto_checkpoint_survives_write_failure(self, tmp_path):
+        stream = integer_stream(300, seed=13)
+        injector = FaultInjector().fail_snapshot_write(stream="s", times=1)
+        with StreamService(tmp_path, fault_injector=injector) as service:
+            service.create_stream(
+                "s", backend="exact", params=dict(window_size=64),
+                checkpoint_every=100,
+            )
+            for start in range(0, 300, 100):
+                service.ingest("s", stream[start : start + 100])
+                service.flush("s")
+            health = service.health("s")
+            assert health["checkpoint_errors"] == 1
+            assert health["state"] == "healthy"
+            counters = service._store.counters
+            assert counters["write_failures"] == 1
+            assert counters["writes"] >= 1
+            assert any(e["kind"] == "snapshot" for e in injector.events)
+        restored = StreamService.restore(tmp_path)
+        try:
+            # close() took a final good checkpoint despite the earlier miss.
+            assert restored.stats("s")["arrivals"] == 300
+        finally:
+            restored.close(checkpoint=False)
+
+
+class TestSlowIngestFaults:
+    def test_slow_fault_fires_and_stream_completes(self):
+        injector = FaultInjector().slow_ingest_at(50, 0.05, stream="s")
+        with StreamService(fault_injector=injector) as service:
+            service.create_stream(
+                "s", backend="gk_quantiles", params=dict(epsilon=0.1)
+            )
+            service.ingest("s", integer_stream(100, seed=1))
+            service.flush("s")
+            assert service.stats("s")["arrivals"] == 100
+            slow = [e for e in injector.events if e["kind"] == "slow"]
+            assert len(slow) == 1
+            assert injector.pending() == 0

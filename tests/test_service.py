@@ -293,14 +293,174 @@ class TestBackpressure:
             self.idle_worker("spill")
 
     def test_worker_failure_propagates_to_producers(self):
+        # Under poison="fail" an ingest error is fatal (the pre-quarantine
+        # behavior, still available per stream spec).
         maintainer = make_maintainer("equi_depth", num_buckets=4)
-        worker = StreamWorker("bad", maintainer, queue_capacity=64)
+        worker = StreamWorker("bad", maintainer, queue_capacity=64, poison="fail")
         worker.start()
         worker.submit(np.asarray([-5.0]))  # equi-depth rejects negatives
         with pytest.raises(RuntimeError, match="worker failed"):
             worker.flush()
         with pytest.raises(RuntimeError, match="worker failed"):
             worker.submit(np.ones(4))
+
+
+class TestDrainStopLifecycle:
+    """stop()/close() are drain-then-stop by default and idempotent."""
+
+    @staticmethod
+    def worker():
+        return StreamWorker(
+            "s", make_maintainer("gk_quantiles", epsilon=0.1), queue_capacity=64
+        )
+
+    def test_stop_drains_queued_records_by_default(self):
+        worker = self.worker()
+        worker.submit(integer_stream(50, seed=0))  # queued, worker not started
+        worker.start()
+        worker.stop()
+        assert worker.counters.ingested_points == 50
+        assert worker.counters.dropped_points == 0
+
+    def test_stop_and_close_are_idempotent(self):
+        worker = self.worker()
+        worker.start()
+        worker.submit(integer_stream(10, seed=1))
+        worker.stop()
+        worker.stop()
+        worker.close()
+        assert worker.counters.ingested_points == 10
+
+    def test_stop_before_start_is_safe(self):
+        worker = self.worker()
+        worker.stop()
+        worker.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            worker.submit([1.0])
+
+    def test_submit_after_stop_rejected_without_losing_drained_work(self):
+        worker = self.worker()
+        worker.start()
+        worker.submit(integer_stream(30, seed=2))
+        worker.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            worker.submit([1.0])
+        assert len(worker.maintainer.synopsis()) == 30
+
+    def test_preload_only_before_start(self):
+        worker = self.worker()
+        assert worker.preload([integer_stream(10, seed=3)]) == 10
+        worker.start()
+        with pytest.raises(RuntimeError, match="preload"):
+            worker.preload([[1.0]])
+        worker.flush()
+        worker.stop()
+        assert worker.counters.ingested_points == 10
+
+
+class TestDropOldestConcurrent:
+    """drop_oldest under concurrent producers: counted, never raising."""
+
+    def test_concurrent_producers_account_every_point(self):
+        with StreamService() as service:
+            service.create_stream(
+                "m", backend="gk_quantiles", params=dict(epsilon=0.1),
+                queue_capacity=64, backpressure="drop_oldest",
+            )
+            errors = []
+
+            def produce(seed):
+                try:
+                    for chunk in np.array_split(
+                        integer_stream(600, seed=seed), 40
+                    ):
+                        service.ingest("m", chunk)
+                except Exception as error:  # pragma: no cover - must not happen
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=produce, args=(seed,))
+                for seed in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            service.flush("m")
+            assert errors == []
+            stats = service.stats("m")
+            assert stats["submitted_points"] == 6 * 600
+            # Every submitted point was either ingested or dropped; the
+            # freshest-data-wins policy never raises at the producer.
+            assert (
+                stats["ingested_points"] + stats["dropped_points"]
+                == stats["submitted_points"]
+            )
+            assert stats["queue_depth"] == 0
+
+
+class TestPoisonQuarantine:
+    """Poison records go to the dead-letter buffer; ingest keeps flowing."""
+
+    def test_poison_points_quarantined_ingest_continues(self):
+        stream = integer_stream(200, seed=11)
+        poisoned = stream.copy()
+        poison_positions = [40, 41, 120]
+        for position in poison_positions:
+            poisoned[position] = -7.0  # equi-depth rejects negatives
+        with StreamService() as service:
+            service.create_stream(
+                "d", backend="equi_depth", params=dict(num_buckets=8),
+                maintain_every=16,
+            )
+            for start in range(0, 200, 50):
+                service.ingest("d", poisoned[start : start + 50])
+            service.flush("d")
+            stats = service.stats("d")
+            assert stats["dead_letter"]["poison_points"] == 3
+            assert stats["dead_letter"]["quarantined"] == 3
+            assert stats["arrivals"] == 197
+            assert stats["ingested_points"] == 197
+            records = service.dead_letters("d")
+            assert [r.value for r in records] == [-7.0, -7.0, -7.0]
+            assert all("negative" in r.error for r in records)
+            served = service.synopsis("d")
+            health = service.health("d")
+            assert health["state"] == "healthy"
+        # Quarantined points never advance the arrival counter, so the
+        # result equals a clean-stream run with the poison removed.
+        clean = np.delete(stream, poison_positions)
+        direct = make_maintainer("equi_depth", num_buckets=8)
+        StreamPipeline([direct], maintain_every=16).run(clean)
+        assert_same_synopsis(served, reference_synopsis(direct))
+
+    def test_retry_requarantines_still_bad_records(self):
+        with StreamService() as service:
+            service.create_stream(
+                "d", backend="equi_depth", params=dict(num_buckets=4)
+            )
+            service.ingest("d", [1.0, -3.0, 2.0])
+            service.flush("d")
+            assert len(service.dead_letters("d")) == 1
+            outcome = service.retry_dead_letters("d")
+            assert outcome == {"retried": 1, "succeeded": 0, "failed": 1}
+            counters = service.stats("d")["dead_letter"]
+            assert counters["retry_failed"] == 1
+            assert counters["quarantined"] == 1
+
+    def test_fail_policy_keeps_old_semantics(self):
+        with StreamService() as service:
+            service.create_stream(
+                "d", backend="equi_depth", params=dict(num_buckets=4),
+                poison="fail",
+            )
+            service.ingest("d", [1.0, -3.0, 2.0])
+            with pytest.raises(RuntimeError, match="worker failed"):
+                service.flush("d")
+
+    def test_spec_rejects_unknown_poison_policy(self):
+        with pytest.raises(ValueError, match="poison"):
+            StreamSpec(backend="exact", poison="explode")
 
 
 class TestCheckpointRestore:
@@ -407,6 +567,7 @@ class TestCheckpointRestore:
 
 class TestSnapshotStore:
     def test_manifest_tracks_latest_and_prunes(self, tmp_path):
+        # keep=2 by default: the newest generation plus one fallback.
         store = SnapshotStore(tmp_path)
         store.write("s", {"arrivals": 1, "state": {}, "tail": []})
         store.write("s", {"arrivals": 2, "state": {}, "tail": []})
@@ -414,7 +575,10 @@ class TestSnapshotStore:
         assert entry["seq"] == 2
         assert store.load_latest("s")["arrivals"] == 2
         remaining = sorted(p.name for p in tmp_path.glob("s-*.json"))
-        assert remaining == ["s-00000002.json"]
+        assert remaining == ["s-00000001.json", "s-00000002.json"]
+        store.write("s", {"arrivals": 3, "state": {}, "tail": []})
+        remaining = sorted(p.name for p in tmp_path.glob("s-*.json"))
+        assert remaining == ["s-00000002.json", "s-00000003.json"]
 
     def test_unknown_stream_raises(self, tmp_path):
         with pytest.raises(KeyError, match="nope"):

@@ -1,0 +1,141 @@
+"""Snapshot integrity: checksums, generation fallback, typed corruption.
+
+Pins the durability half of the fault-tolerance contract: every format-2
+snapshot embeds a sha256 checksum over its canonical body; loads verify
+it and fall back generation by generation when the newest file is
+corrupt, truncated, missing, or mislabeled; corruption surfaces as the
+typed :class:`SnapshotCorruptError`; and cleanup problems are counted
+rather than silently swallowed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import SnapshotCorruptError, SnapshotStore
+from repro.service.snapshot import SNAPSHOT_FORMAT, _payload_checksum
+
+
+def payload(arrivals, marker):
+    return {"arrivals": arrivals, "state": {"marker": marker}, "pending": []}
+
+
+class TestChecksums:
+    def test_written_snapshot_embeds_verifiable_checksum(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        path = store.write("s", payload(10, "a"))
+        on_disk = json.loads(path.read_text())
+        assert on_disk["format"] == SNAPSHOT_FORMAT
+        assert on_disk["checksum"].startswith("sha256:")
+        assert on_disk["checksum"] == _payload_checksum(on_disk)
+        assert store.load_latest("s")["state"] == {"marker": "a"}
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=1)
+        path = store.write("s", payload(10, "a"))
+        doctored = json.loads(path.read_text())
+        doctored["arrivals"] = 99  # valid JSON, tampered body
+        path.write_text(json.dumps(doctored))
+        with pytest.raises(SnapshotCorruptError, match="checksum mismatch"):
+            store.load_latest("s")
+
+    def test_legacy_format1_snapshot_loads_without_checksum(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        legacy = {"format": 1, "stream": "s", "seq": 1, **payload(5, "old")}
+        (tmp_path / "s-00000001.json").write_text(json.dumps(legacy))
+        assert store.load_latest("s")["state"] == {"marker": "old"}
+
+    def test_unknown_format_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=1)
+        bad = {"format": 99, "stream": "s", "seq": 1, **payload(5, "x")}
+        (tmp_path / "s-00000001.json").write_text(json.dumps(bad))
+        with pytest.raises(SnapshotCorruptError, match="unsupported"):
+            store.load_latest("s")
+
+
+class TestGenerationFallback:
+    def test_corrupt_newest_falls_back_to_previous(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        store.write("s", payload(100, "gen1"))
+        newest = store.write("s", payload(200, "gen2"))
+        newest.write_text("not json at all")
+        loaded = store.load_latest("s")
+        assert loaded["state"] == {"marker": "gen1"}
+        assert loaded["arrivals"] == 100
+        assert store.counters["corrupt_snapshots"] == 1
+        assert store.counters["fallback_loads"] == 1
+
+    def test_truncated_newest_falls_back(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        store.write("s", payload(100, "gen1"))
+        newest = store.write("s", payload(200, "gen2"))
+        newest.write_text(newest.read_text()[: 40])
+        assert store.load_latest("s")["state"] == {"marker": "gen1"}
+
+    def test_missing_manifest_file_falls_back(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        store.write("s", payload(100, "gen1"))
+        newest = store.write("s", payload(200, "gen2"))
+        newest.unlink()  # manifest now dangles
+        assert store.load_latest("s")["state"] == {"marker": "gen1"}
+        assert store.counters["fallback_loads"] == 1
+
+    def test_wrong_stream_snapshot_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        store.write("s", payload(100, "mine"))
+        newest = store.write("s", payload(200, "mine2"))
+        foreign = json.loads(newest.read_text())
+        foreign["stream"] = "other"
+        foreign["checksum"] = _payload_checksum(foreign)
+        newest.write_text(json.dumps(foreign))
+        assert store.load_latest("s")["state"] == {"marker": "mine"}
+
+    def test_all_generations_corrupt_raises_typed_error(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for marker in ("gen1", "gen2"):
+            store.write("s", payload(100, marker))
+        for path in store.generations("s"):
+            path.write_text("garbage")
+        with pytest.raises(SnapshotCorruptError, match="every snapshot"):
+            store.load_latest("s")
+        # Both generations were inspected and rejected.
+        assert store.counters["corrupt_snapshots"] >= 2
+
+    def test_missing_stream_is_keyerror_not_corruption(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(KeyError):
+            store.load_latest("nope")
+
+
+class TestRetentionAndHygiene:
+    def test_keep_bounds_generations(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for generation in range(5):
+            store.write("s", payload(generation * 10, f"g{generation}"))
+        files = store.generations("s")
+        assert len(files) == 2
+        assert [p.name for p in files] == ["s-00000004.json", "s-00000005.json"]
+
+    def test_keep_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            SnapshotStore(tmp_path, keep=0)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write("s", payload(10, "a"))
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_cleanup_errors_counted_not_raised(self, tmp_path, monkeypatch):
+        store = SnapshotStore(tmp_path, keep=1)
+        store.write("s", payload(10, "a"))
+
+        def refuse(self):
+            raise OSError("simulated unlink failure")
+
+        monkeypatch.setattr(type(tmp_path), "unlink", refuse)
+        store.write("s", payload(20, "b"))  # prune must not raise
+        monkeypatch.undo()
+        assert store.counters["cleanup_errors"] == 1
+        assert store.load_latest("s")["state"] == {"marker": "b"}
