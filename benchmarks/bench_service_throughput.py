@@ -7,6 +7,10 @@ bounded queues while the per-stream workers drain them, for fleets of
 
 * aggregate ingest throughput (points/second, submit-to-drained);
 * p50 / p99 enqueue latency (time a producer spent inside ``submit``);
+* per-stage wall time (ingest / maintain / materialize) folded from the
+  service's always-on ``repro_stage_seconds`` histograms -- which also
+  makes this benchmark the regression guard for the observability
+  layer's hot-path overhead;
 * recovery time: a supervised stream is crashed mid-ingest with a seeded
   :class:`FaultInjector` and the crash-observed-to-healthy wall time is
   measured over several trials (the fault-tolerance subsystem's latency
@@ -79,7 +83,37 @@ def run_fleet(num_streams: int) -> dict:
             "enqueue_p50_seconds": max(s["enqueue_p50_seconds"] for s in stats),
             "enqueue_p99_seconds": max(s["enqueue_p99_seconds"] for s in stats),
             "max_queue_depth": max(s["max_queue_depth"] for s in stats),
+            "stage_seconds": stage_summary(service),
         }
+
+
+def stage_summary(service: StreamService) -> dict:
+    """Per-stage latency totals aggregated over the fleet's streams.
+
+    The always-on tracer already recorded every ingest / maintain /
+    materialize duration into ``repro_stage_seconds``; this just folds
+    the per-stream histograms into one count/sum plus the worst
+    per-stream p50/p99 (a fleet is only as fast as its slowest stream).
+    """
+    summary: dict[str, dict] = {}
+    for sample in service.metrics():
+        if sample["name"] != "repro_stage_seconds":
+            continue
+        stage = sample["labels"]["stage"]
+        entry = summary.setdefault(
+            stage,
+            {"count": 0, "sum_seconds": 0.0, "p50_seconds": 0.0,
+             "p99_seconds": 0.0},
+        )
+        entry["count"] += sample["count"]
+        entry["sum_seconds"] += sample["sum"]
+        entry["p50_seconds"] = max(
+            entry["p50_seconds"], sample["quantiles"]["0.5"]
+        )
+        entry["p99_seconds"] = max(
+            entry["p99_seconds"], sample["quantiles"]["0.99"]
+        )
+    return summary
 
 
 RECOVERY_TRIALS = 5
@@ -177,6 +211,12 @@ def main(output_path: str = "BENCH_service.json") -> dict:
             f"{result['points_per_second']:>12,.0f} points/s, "
             f"p99 enqueue {result['enqueue_p99_seconds'] * 1e6:8.1f} us"
         )
+        for stage, entry in sorted(result["stage_seconds"].items()):
+            print(
+                f"    {stage:<11} {entry['count']:>7} spans, "
+                f"total {entry['sum_seconds']:7.3f} s, "
+                f"p99 {entry['p99_seconds'] * 1e6:8.1f} us"
+            )
     recovery = run_recovery()
     print(
         f"recovery (crash -> healthy): "

@@ -95,7 +95,14 @@ class AgglomerativeHistogramBuilder:
         self._final = certificates[-1]
 
     def extend(self, values) -> None:
-        for value in values:
+        # Validate the whole batch before mutating anything: a bad point
+        # mid-batch must not leave the prefix ingested (all-or-nothing,
+        # the contract batch callers roll back against).
+        batch = [float(value) for value in values]
+        for value in batch:
+            if not math.isfinite(value):
+                raise ValueError(f"stream values must be finite, got {value}")
+        for value in batch:
             self.append(value)
 
     def _level_certificates(self, index: int) -> list[Certificate]:

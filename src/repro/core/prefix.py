@@ -178,10 +178,20 @@ class SlidingPrefixSums:
         array = values if unchecked else _as_float_array(values)
         if array.size < 16:
             # Below this size the fixed cost of the vectorized path exceeds
-            # the scalar loop; `append` validates each point itself and
-            # ingestion is identical either way.
+            # the scalar loop.  Validate the whole batch *before* the loop:
+            # extend must ingest all points or none (per-point validation
+            # inside `append` would leave a partial prefix applied when a
+            # later point is bad, breaking callers that attribute a failed
+            # batch to exactly the un-ingested points).
+            points = array.tolist()
+            if unchecked:
+                for value in points:
+                    if not math.isfinite(value):
+                        raise ValueError(
+                            "values must be finite (no NaN or inf)"
+                        )
             append = self.append
-            for value in array.tolist():
+            for value in points:
                 append(value)
             return
         if unchecked:

@@ -1,0 +1,297 @@
+"""Online accuracy monitoring: observed epsilon vs the configured bound.
+
+The paper proves each maintained histogram stays within ``(1 + eps)`` of
+the optimal synopsis (Theorem 1); :class:`AccuracyMonitor` checks the
+*realized* figure while the stream runs.  It shadows the hosted synopsis
+with a bounded exact sliding window of the same ingested points and, at
+a configurable cadence, compares the synopsis's answers against ground
+truth computed from that window:
+
+* ``"sse"`` -- for histogram synopses: observed epsilon is
+  ``SSE(served) / SSE(optimal) - 1`` over the shadow window, the exact
+  quantity Theorem 1 bounds (the optimal error comes from the O(n^2 B)
+  V-optimal DP, which is why the shadow window is bounded and the check
+  runs on a cadence, not per point).
+* ``"range_sum"`` -- seeded random range-sum probes; observed epsilon is
+  the worst relative error against exact window sums.
+* ``"quantile"`` -- decile probes; observed epsilon is the worst rank
+  error of the synopsis's quantile answers within the window, the GK
+  summary's native guarantee.
+
+For whole-prefix backends (GK, reservoir, equi-depth) the shadow window
+is exact ground truth only while it still covers the entire stream;
+after that the comparison degrades into a recent-window proxy, which is
+the operational signal a monitor wants anyway (size the window to taste).
+Every check lands in a bounded report log and, when a registry is
+attached, in ``repro_observed_epsilon`` / ``repro_accuracy_checks_total``
+/ ``repro_accuracy_violations_total``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bucket import Histogram
+from ..core.optimal import optimal_error
+from ..query.queries import synopsis_quantile
+from ..streams.window import SlidingWindow
+from .metrics import MetricsRegistry
+
+__all__ = ["AccuracyMonitor", "AccuracyReport"]
+
+MODES = ("auto", "sse", "range_sum", "quantile")
+
+OBSERVED_EPSILON_METRIC = "repro_observed_epsilon"
+CHECKS_METRIC = "repro_accuracy_checks_total"
+VIOLATIONS_METRIC = "repro_accuracy_violations_total"
+
+#: Probe fractions of the quantile mode (the deciles).
+QUANTILE_PROBES = tuple(np.linspace(0.1, 0.9, 9))
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Outcome of one accuracy check."""
+
+    arrivals: int
+    mode: str
+    observed_epsilon: float
+    configured_epsilon: float
+    window_points: int
+
+    @property
+    def within_bound(self) -> bool:
+        return self.observed_epsilon <= self.configured_epsilon
+
+    def to_dict(self) -> dict:
+        return {
+            "arrivals": self.arrivals,
+            "mode": self.mode,
+            "observed_epsilon": self.observed_epsilon,
+            "configured_epsilon": self.configured_epsilon,
+            "window_points": self.window_points,
+            "within_bound": self.within_bound,
+        }
+
+
+class AccuracyMonitor:
+    """Shadow an exact window; report observed epsilon on a cadence.
+
+    Parameters
+    ----------
+    epsilon:
+        The configured approximation bound to report against (for the
+        fixed-window backend, Theorem 1's constant).
+    window_size:
+        Capacity of the exact shadow window.  Bounds both memory and the
+        cost of a check.
+    check_every:
+        Minimum ingested points between checks.
+    probes / seed:
+        Number of seeded random ranges the ``range_sum`` mode draws per
+        check (the quantile mode probes the deciles instead).
+    mode:
+        ``"auto"`` (resolve from the first checked synopsis), or one of
+        ``"sse"`` / ``"range_sum"`` / ``"quantile"``.
+    num_buckets:
+        Bucket budget of the optimal reference in ``sse`` mode; defaults
+        to the served histogram's own bucket count.
+    max_reports:
+        Bound on the retained report log.
+
+    The monitor is driven from the owning worker thread (``extend`` then
+    ``maybe_check``); readers take snapshots through ``reports()`` /
+    ``latest()``, which only touch the bounded deque.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        *,
+        window_size: int = 1024,
+        check_every: int = 512,
+        probes: int = 16,
+        seed: int = 0,
+        mode: str = "auto",
+        num_buckets: int | None = None,
+        max_reports: int = 256,
+        registry: MetricsRegistry | None = None,
+        stream: str = "",
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if probes < 1:
+            raise ValueError("probes must be >= 1")
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; use one of {MODES}")
+        self.epsilon = float(epsilon)
+        self.check_every = int(check_every)
+        self.probes = int(probes)
+        self.mode = mode
+        self.num_buckets = num_buckets
+        self._window = SlidingWindow(window_size)
+        self._rng = np.random.default_rng(seed)
+        self._reports: deque[AccuracyReport] = deque(maxlen=max_reports)
+        self._last_checked = 0
+        self._observed = (
+            registry.gauge(OBSERVED_EPSILON_METRIC, stream=stream)
+            if registry is not None
+            else None
+        )
+        self._checks = (
+            registry.counter(CHECKS_METRIC, stream=stream)
+            if registry is not None
+            else None
+        )
+        self._violations = (
+            registry.counter(VIOLATIONS_METRIC, stream=stream)
+            if registry is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Worker-thread side
+    # ------------------------------------------------------------------
+
+    def extend(self, batch) -> None:
+        """Mirror ingested points into the exact shadow window."""
+        self._window.extend(batch)
+
+    def maybe_check(self, arrivals: int, synopsis) -> AccuracyReport | None:
+        """Run a check when the cadence is due (returns the report, if any)."""
+        if arrivals - self._last_checked < self.check_every:
+            return None
+        if len(self._window) == 0:
+            return None
+        if self._resolve_mode(synopsis) == "sse" and not self._aligned(arrivals):
+            # A monitor attached after a restore has not yet re-filled its
+            # shadow window; an SSE comparison against a window covering
+            # different positions than the synopsis would be meaningless.
+            return None
+        return self.check(arrivals, synopsis)
+
+    def _aligned(self, arrivals: int) -> bool:
+        """Has the shadow window seen every point the synopsis covers?"""
+        return self._window.total_seen >= arrivals or self._window.is_full
+
+    def check(self, arrivals: int, synopsis) -> AccuracyReport:
+        """Compare ``synopsis`` against the shadow window right now."""
+        self._last_checked = arrivals
+        values = self._window.values()
+        mode = self._resolve_mode(synopsis)
+        if mode == "sse":
+            observed = self._observed_sse_epsilon(synopsis, values)
+        elif mode == "range_sum":
+            observed = self._observed_range_sum_epsilon(synopsis, values)
+        else:
+            observed = self._observed_quantile_epsilon(synopsis, values)
+        report = AccuracyReport(
+            arrivals=arrivals,
+            mode=mode,
+            observed_epsilon=observed,
+            configured_epsilon=self.epsilon,
+            window_points=values.size,
+        )
+        self._reports.append(report)
+        if self._observed is not None:
+            self._observed.set(observed)
+        if self._checks is not None:
+            self._checks.inc()
+        if self._violations is not None and not report.within_bound:
+            self._violations.inc()
+        return report
+
+    # ------------------------------------------------------------------
+    # Ground-truth comparisons
+    # ------------------------------------------------------------------
+
+    def _resolve_mode(self, synopsis) -> str:
+        if self.mode != "auto":
+            return self.mode
+        if isinstance(synopsis, Histogram):
+            return "sse"
+        if getattr(synopsis, "range_sum", None) is not None:
+            return "range_sum"
+        return "quantile"
+
+    def _observed_sse_epsilon(self, histogram: Histogram, values) -> float:
+        """Theorem 1's ratio: SSE(served) / SSE(optimal) - 1."""
+        if values.size == 0:
+            return 0.0
+        served = histogram.sse(values)
+        budget = self.num_buckets or histogram.num_buckets
+        optimal = optimal_error(values, budget)
+        if optimal <= 1e-12:
+            # The optimal histogram is exact here; the served one must be
+            # (numerically) exact too or the ratio is unbounded.
+            return 0.0 if served <= 1e-9 else float("inf")
+        return max(0.0, served / optimal - 1.0)
+
+    def _observed_range_sum_epsilon(self, synopsis, values) -> float:
+        if values.size == 0:
+            return 0.0
+        cumulative = np.concatenate(([0.0], np.cumsum(values)))
+        scale = max(float(np.abs(values).mean()), 1e-12)
+        worst = 0.0
+        for _ in range(self.probes):
+            i = int(self._rng.integers(values.size))
+            j = int(self._rng.integers(i, values.size))
+            exact = float(cumulative[j + 1] - cumulative[i])
+            approx = float(synopsis.range_sum(i, j))
+            # Relative to the exact answer, floored at one average point
+            # so near-zero sums do not explode the ratio.
+            worst = max(worst, abs(approx - exact) / max(abs(exact), scale))
+        return worst
+
+    def _observed_quantile_epsilon(self, synopsis, values) -> float:
+        if values.size == 0:
+            return 0.0
+        ordered = np.sort(values)
+        n = ordered.size
+        worst = 0.0
+        for fraction in QUANTILE_PROBES:
+            approx = synopsis_quantile(synopsis, float(fraction))
+            # Rank band the answer occupies in the exact window; the
+            # observed error is its distance from the target rank.
+            lo = bisect.bisect_left(ordered.tolist(), approx)
+            hi = bisect.bisect_right(ordered.tolist(), approx)
+            target = fraction * (n - 1)
+            if lo <= target <= hi:
+                continue
+            distance = min(abs(lo - target), abs(hi - 1 - target))
+            worst = max(worst, distance / n)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+
+    def reports(self) -> list[AccuracyReport]:
+        """Retained reports, oldest first."""
+        return list(self._reports)
+
+    def latest(self) -> AccuracyReport | None:
+        reports = self.reports()
+        return reports[-1] if reports else None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (reported inside worker stats)."""
+        latest = self.latest()
+        reports = self.reports()
+        return {
+            "configured_epsilon": self.epsilon,
+            "check_every": self.check_every,
+            "window_points": len(self._window),
+            "checks": len(reports),
+            "violations": sum(1 for r in reports if not r.within_bound),
+            "observed_epsilon": (
+                latest.observed_epsilon if latest is not None else None
+            ),
+            "mode": latest.mode if latest is not None else self.mode,
+        }

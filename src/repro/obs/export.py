@@ -1,0 +1,145 @@
+"""Exporters: registry samples -> Prometheus text / JSONL.
+
+The Prometheus rendering follows the text exposition format (0.0.4):
+``# TYPE`` headers, escaped label values, counters suffixed ``_total``
+by convention of the metric names themselves, and reservoir histograms
+rendered as summaries (``{quantile="0.5"}`` series plus ``_count`` /
+``_sum``).  :func:`parse_prometheus_text` is the matching minimal
+parser -- the CI smoke step and the test suite use it to assert that
+whatever the service exposes actually parses back into samples.
+
+JSONL is one sample per line, each line the dict produced by
+:meth:`~repro.obs.metrics.MetricsRegistry.collect`, stamped with an
+export timestamp -- the shape log shippers and offline analysis want.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "parse_prometheus_text",
+    "to_jsonl",
+    "to_prometheus_text",
+    "write_jsonl",
+]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every registry instrument in Prometheus text format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for sample in registry.collect():
+        name, kind, labels = sample["name"], sample["kind"], sample["labels"]
+        prom_type = "summary" if kind == "histogram" else kind
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {prom_type}")
+        if kind == "histogram":
+            for fraction, value in sample["quantiles"].items():
+                lines.append(
+                    f"{name}{_render_labels(labels, {'quantile': fraction})} "
+                    f"{_format_value(value)}"
+                )
+            lines.append(
+                f"{name}_count{_render_labels(labels)} {sample['count']}"
+            )
+            lines.append(
+                f"{name}_sum{_render_labels(labels)} "
+                f"{_format_value(sample['sum'])}"
+            )
+        else:
+            lines.append(
+                f"{name}{_render_labels(labels)} "
+                f"{_format_value(sample['value'])}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> list[dict]:
+    """Parse Prometheus text back into ``{name, labels, value}`` samples.
+
+    Raises ``ValueError`` on any malformed line, which is exactly what a
+    smoke test wants: a silent partial parse would defeat the check.
+    """
+    samples: list[dict] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _METRIC_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed metric line {lineno}: {raw!r}")
+        label_text = match.group("labels") or ""
+        labels = {key: value for key, value in _LABEL_PAIR.findall(label_text)}
+        value_text = match.group("value")
+        if value_text in ("+Inf", "-Inf", "NaN"):
+            value = float(value_text.replace("Inf", "inf").replace("NaN", "nan"))
+        else:
+            try:
+                value = float(value_text)
+            except ValueError as error:
+                raise ValueError(
+                    f"malformed metric value on line {lineno}: {raw!r}"
+                ) from error
+        samples.append(
+            {"name": match.group("name"), "labels": labels, "value": value}
+        )
+    return samples
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per sample per line, stamped with the export time."""
+    stamp = time.time()
+    lines = [
+        json.dumps({"exported_at": stamp, **sample}, sort_keys=True)
+        for sample in registry.collect()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(registry: MetricsRegistry, path) -> Path:
+    """Append the current samples to ``path`` (created if missing)."""
+    path = Path(path)
+    with open(path, "a") as handle:
+        handle.write(to_jsonl(registry))
+    return path

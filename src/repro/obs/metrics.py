@@ -1,0 +1,271 @@
+"""The metrics substrate: counters, gauges, bounded-reservoir histograms.
+
+A :class:`MetricsRegistry` is a thread-safe, label-aware home for every
+operational number the service layer produces.  Handles are cheap and
+cached -- ``registry.counter("repro_ingested_points_total", stream="cpu")``
+returns the *same* :class:`Counter` on every call, so hot paths hold a
+direct reference and pay one small lock per update.  Three instrument
+kinds cover the service's needs:
+
+* :class:`Counter` -- monotone ``inc``; resets only with the registry.
+* :class:`Gauge` -- ``set``/``inc``; the last written value wins.
+* :class:`HistogramMetric` -- running count/sum/min/max plus a bounded
+  reservoir of recent observations for percentile reporting.  The
+  reservoir is snapshotted under the metric's lock, so quantiles are
+  computed from one consistent view (never a torn or mutating deque).
+
+``collect()`` renders every instrument into plain dict samples, which is
+what the Prometheus / JSONL exporters (:mod:`repro.obs.export`) and
+``StreamService.metrics()`` consume.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "HistogramMetric", "MetricsRegistry"]
+
+#: Default bound on the per-histogram observation reservoir.
+DEFAULT_RESERVOIR = 4096
+
+#: Quantiles rendered into collected histogram samples.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _valid_metric_name(name: str) -> bool:
+    return bool(name) and name.replace("_", "").replace(":", "").isalnum() \
+        and not name[0].isdigit()
+
+
+class _Instrument:
+    """Shared shape of one named, labeled instrument."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+
+    def sample(self) -> dict:
+        """One JSON-friendly sample (shared envelope + kind-specific body)."""
+        return {"name": self.name, "kind": self.kind, "labels": dict(self.labels),
+                **self._body()}
+
+    def _body(self) -> dict:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        super().__init__(name, labels)
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+    def _body(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (queue depth, observed epsilon)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is below (high-watermarks)."""
+        value = float(value)
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _body(self) -> dict:
+        return {"value": self.value}
+
+
+class HistogramMetric(_Instrument):
+    """Running distribution summary with a bounded observation reservoir.
+
+    ``observe`` is the hot-path verb: one lock, one deque append (the
+    deque's ``maxlen`` evicts the oldest observation, so memory is
+    bounded no matter how long the stream runs).  Readers always work
+    from a snapshot taken under the same lock -- the fix for the
+    deque-mutated-during-iteration race the ad-hoc latency ring had.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        reservoir: int = DEFAULT_RESERVOIR,
+    ) -> None:
+        if reservoir < 1:
+            raise ValueError("reservoir must be >= 1")
+        super().__init__(name, labels)
+        self._recent: deque[float] = deque(maxlen=reservoir)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._recent.append(value)
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> list[float]:
+        """A consistent copy of the recent-observation reservoir."""
+        with self._lock:
+            return list(self._recent)
+
+    def quantile(self, fraction: float) -> float:
+        """Quantile of the recent observations (0.0 if none)."""
+        recent = self.snapshot()
+        if not recent:
+            return 0.0
+        return float(np.quantile(recent, fraction))
+
+    def quantiles(self, fractions=SUMMARY_QUANTILES) -> dict[float, float]:
+        """Several quantiles computed from *one* reservoir snapshot.
+
+        Using a single snapshot keeps the reported percentiles mutually
+        consistent (p50 and p99 describe the same set of observations).
+        """
+        recent = self.snapshot()
+        if not recent:
+            return {float(f): 0.0 for f in fractions}
+        values = np.quantile(recent, list(fractions))
+        return {float(f): float(v) for f, v in zip(fractions, values)}
+
+    def _body(self) -> dict:
+        with self._lock:
+            recent = list(self._recent)
+            count, total = self._count, self._sum
+            low = self._min if self._count else 0.0
+            high = self._max if self._count else 0.0
+        if recent:
+            marks = np.quantile(recent, list(SUMMARY_QUANTILES))
+            quantiles = {
+                str(f): float(v) for f, v in zip(SUMMARY_QUANTILES, marks)
+            }
+        else:
+            quantiles = {str(f): 0.0 for f in SUMMARY_QUANTILES}
+        return {
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+            "quantiles": quantiles,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": HistogramMetric}
+
+
+class MetricsRegistry:
+    """Thread-safe, label-aware instrument store.
+
+    One registry serves one :class:`~repro.service.service.StreamService`
+    (or one test).  Instruments are identified by ``(name, labels)``;
+    asking twice returns the same handle, asking for a taken name with a
+    different kind is an error (a typo'd re-registration must fail
+    loudly, exactly like the maintainer registry).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, _Instrument] = {}
+
+    def _get(self, kind: str, name: str, labels: dict, **extra) -> _Instrument:
+        if not _valid_metric_name(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for key, value in labels.items():
+            labels[key] = str(value)
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = _KINDS[kind](name, key[1], **extra)
+                self._instruments[key] = instrument
+            elif instrument.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {instrument.kind}, "
+                    f"not {kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(
+        self, name: str, *, reservoir: int = DEFAULT_RESERVOIR, **labels
+    ) -> HistogramMetric:
+        return self._get("histogram", name, labels, reservoir=reservoir)
+
+    def collect(self) -> list[dict]:
+        """Every instrument rendered to a dict sample, sorted by identity."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return [instrument.sample() for _, instrument in instruments]
+
+    def collect_labeled(self, **labels) -> list[dict]:
+        """Samples whose labels include every given ``key=value`` pair."""
+        wanted = {key: str(value) for key, value in labels.items()}
+        return [
+            sample for sample in self.collect()
+            if all(sample["labels"].get(k) == v for k, v in wanted.items())
+        ]

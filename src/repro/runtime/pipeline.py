@@ -74,6 +74,14 @@ class StreamPipeline:
         snapshot position so maintenance and checkpoint events keep
         firing at the same absolute stream positions as an uninterrupted
         run.
+    observer:
+        Optional duck-typed telemetry sink with a
+        ``record_stage(stage, seconds, arrivals)`` method (see
+        :class:`repro.obs.tracing.PipelineObserver`).  Stage durations
+        are accumulated across one :meth:`extend` call and emitted once
+        on success, so per-point cadences pay no per-chunk observer
+        cost.  The pipeline only duck-calls the hook -- this module
+        never imports :mod:`repro.obs`.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class StreamPipeline:
         on_maintain: Callable[[int, "StreamPipeline"], None] | None = None,
         batch_size: int = 1024,
         initial_arrivals: int = 0,
+        observer=None,
     ) -> None:
         if not maintainers:
             raise ValueError("need at least one maintainer")
@@ -116,6 +125,7 @@ class StreamPipeline:
         self.on_checkpoint = on_checkpoint
         self.on_maintain = on_maintain
         self.batch_size = batch_size
+        self.observer = observer
         self._arrivals = initial_arrivals
         self._reports = [PipelineReport(name) for name in names]
 
@@ -183,6 +193,9 @@ class StreamPipeline:
         """Consume a batch; split it exactly at event boundaries."""
         array = as_stream_batch(values)
         offset = 0
+        ingest_seconds = 0.0
+        maintain_seconds = 0.0
+        maintained = False
         while offset < array.size:
             boundaries = [
                 b for b in (self._next_maintain(), self._next_checkpoint())
@@ -205,7 +218,9 @@ class StreamPipeline:
                         maintainer.append(float(chunk[0]))
                     else:
                         maintainer.extend(chunk)
-                    report.maintenance_seconds += time.perf_counter() - started
+                    elapsed = time.perf_counter() - started
+                    report.maintenance_seconds += elapsed
+                    ingest_seconds += elapsed
                     fed += 1
             except BaseException:
                 if fed == 0:
@@ -218,10 +233,13 @@ class StreamPipeline:
                     self._arrivals -= take
                 raise
             if maintain_now:
+                maintained = True
                 for maintainer, report in zip(self.maintainers, self._reports):
                     started = time.perf_counter()
                     maintainer.maintain()
-                    report.maintenance_seconds += time.perf_counter() - started
+                    elapsed = time.perf_counter() - started
+                    report.maintenance_seconds += elapsed
+                    maintain_seconds += elapsed
             if maintain_now and self.on_maintain is not None:
                 self.on_maintain(self._arrivals, self)
             if self._checkpoint_due():
@@ -230,6 +248,15 @@ class StreamPipeline:
                 if self.on_checkpoint is not None:
                     self.on_checkpoint(self._arrivals, self)
             offset += take
+        if self.observer is not None and array.size:
+            # One emission per extend() call, not per chunk: a cadence of
+            # 1 splits every batch into per-point chunks and a per-chunk
+            # hook would dominate the hot path.
+            self.observer.record_stage("ingest", ingest_seconds, self._arrivals)
+            if maintained:
+                self.observer.record_stage(
+                    "maintain", maintain_seconds, self._arrivals
+                )
 
     def run(self, stream: Iterable[float]) -> list[PipelineReport]:
         """Consume a whole stream in ``batch_size`` slices."""

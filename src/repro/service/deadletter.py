@@ -44,9 +44,18 @@ class DeadLetterBuffer:
     The buffer object survives worker restarts -- the supervisor hands
     it to the replacement worker so poison history is never reset by a
     crash.
+
+    With a ``registry`` attached every counter is mirrored onto labeled
+    ``repro_dead_letter_*`` instruments (plus a ``quarantined`` gauge of
+    the current buffer size), so the quarantine shows up in
+    ``StreamService.metrics()`` and the exporters; the plain attributes
+    and the :meth:`counters` dict stay authoritative for existing
+    callers.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self, capacity: int = 1024, *, registry=None, stream: str = ""
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -58,6 +67,30 @@ class DeadLetterBuffer:
         self.retried_points = 0
         self.retry_succeeded = 0
         self.retry_failed = 0
+        if registry is not None:
+            labels = {"stream": stream}
+            self._mirrors = {
+                key: registry.counter(f"repro_dead_letter_{key}_total", **labels)
+                for key in (
+                    "poison_points", "poison_batches", "evicted_records",
+                    "retried_points", "retry_succeeded", "retry_failed",
+                )
+            }
+            self._quarantined = registry.gauge(
+                "repro_dead_letter_quarantined", **labels
+            )
+        else:
+            self._mirrors = None
+            self._quarantined = None
+
+    def _mirror(self, key: str, amount: int = 1) -> None:
+        if self._mirrors is not None and amount:
+            self._mirrors[key].inc(amount)
+
+    def _mirror_size(self) -> None:
+        # Called under self._lock; the gauge has its own (leaf) lock.
+        if self._quarantined is not None:
+            self._quarantined.set(len(self._records))
 
     def __len__(self) -> int:
         with self._lock:
@@ -79,13 +112,17 @@ class DeadLetterBuffer:
             if len(self._records) >= self.capacity:
                 self._records.popleft()
                 self.evicted_records += 1
+                self._mirror("evicted_records")
             self._records.append(record)
             self.poison_points += 1
+            self._mirror("poison_points")
+            self._mirror_size()
 
     def record_batch(self) -> None:
         """Count one submitted batch that contained at least one poison point."""
         with self._lock:
             self.poison_batches += 1
+            self._mirror("poison_batches")
 
     # ------------------------------------------------------------------
     # Inspection / retry side (any thread)
@@ -101,6 +138,7 @@ class DeadLetterBuffer:
         with self._lock:
             records = list(self._records)
             self._records.clear()
+            self._mirror_size()
             return records
 
     def requarantine(self, record: DeadLetterRecord, error: BaseException) -> None:
@@ -115,19 +153,25 @@ class DeadLetterBuffer:
             if len(self._records) >= self.capacity:
                 self._records.popleft()
                 self.evicted_records += 1
+                self._mirror("evicted_records")
             self._records.append(updated)
+            self._mirror_size()
 
     def note_retry(self, succeeded: int, failed: int) -> None:
         with self._lock:
             self.retried_points += succeeded + failed
             self.retry_succeeded += succeeded
             self.retry_failed += failed
+            self._mirror("retried_points", succeeded + failed)
+            self._mirror("retry_succeeded", succeeded)
+            self._mirror("retry_failed", failed)
 
     def clear(self) -> int:
         """Drop every quarantined record; returns how many were dropped."""
         with self._lock:
             dropped = len(self._records)
             self._records.clear()
+            self._mirror_size()
             return dropped
 
     def counters(self) -> dict:

@@ -42,6 +42,10 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Iterable
 
+from ..obs.accuracy import AccuracyMonitor
+from ..obs.export import to_prometheus_text, write_jsonl
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import SpanRecord, Tracer
 from ..runtime.registry import make_maintainer
 from .deadletter import DeadLetterBuffer, DeadLetterRecord
 from .faults import FaultInjector
@@ -83,6 +87,13 @@ class StreamSpec:
     poison-record policy (``"quarantine"`` dead-letters offending
     points, ``"fail"`` kills the worker), and an optional automatic
     checkpoint cadence in ingested points.
+
+    ``accuracy`` opts the stream into online accuracy monitoring: a
+    keyword dict for :class:`~repro.obs.accuracy.AccuracyMonitor`
+    (``epsilon`` is required; ``window_size``, ``check_every``,
+    ``mode``, ... as needed).  The monitor shadows ingested points with
+    an exact window and reports observed epsilon vs the configured
+    bound through stats, metrics and ``StreamService.accuracy()``.
     """
 
     backend: str
@@ -92,6 +103,7 @@ class StreamSpec:
     backpressure: str = "block"
     checkpoint_every: int | None = None
     poison: str = "quarantine"
+    accuracy: dict | None = None
 
     def __post_init__(self) -> None:
         if self.maintain_every is not None and self.maintain_every < 1:
@@ -110,6 +122,11 @@ class StreamSpec:
                 f"unknown poison policy {self.poison!r}; "
                 f"use one of {POISON_POLICIES}"
             )
+        if self.accuracy is not None:
+            if not isinstance(self.accuracy, dict):
+                raise ValueError("accuracy must be a keyword dict (or None)")
+            if "epsilon" not in self.accuracy:
+                raise ValueError("accuracy config needs an 'epsilon' bound")
 
     def build_maintainer(self):
         return make_maintainer(self.backend, **self.params)
@@ -123,6 +140,7 @@ class StreamSpec:
             "backpressure": self.backpressure,
             "checkpoint_every": self.checkpoint_every,
             "poison": self.poison,
+            "accuracy": dict(self.accuracy) if self.accuracy else None,
         }
 
     @classmethod
@@ -135,6 +153,7 @@ class StreamSpec:
             backpressure=payload.get("backpressure", "block"),
             checkpoint_every=payload.get("checkpoint_every"),
             poison=payload.get("poison", "quarantine"),
+            accuracy=payload.get("accuracy"),
         )
 
 
@@ -159,9 +178,14 @@ class StreamService:
     ) -> None:
         if restart_policy is not None and not supervise:
             raise ValueError("restart_policy requires supervise=True")
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(self.registry)
         self._store = (
             SnapshotStore(
-                snapshot_dir, keep=snapshot_keep, fault_injector=fault_injector
+                snapshot_dir,
+                keep=snapshot_keep,
+                fault_injector=fault_injector,
+                registry=self.registry,
             )
             if snapshot_dir
             else None
@@ -221,6 +245,11 @@ class StreamService:
         maintainer = spec.build_maintainer()
         if state is not None:
             maintainer.load_state_dict(state)
+        accuracy = None
+        if spec.accuracy is not None:
+            accuracy = AccuracyMonitor(
+                registry=self.registry, stream=name, **spec.accuracy
+            )
         worker = StreamWorker(
             name,
             maintainer,
@@ -232,6 +261,9 @@ class StreamService:
             injector=self._injector,
             track_replay=self._supervisor is not None,
             dead_letter=dead_letter,
+            registry=self.registry,
+            tracer=self.tracer,
+            accuracy=accuracy,
         )
         if state is not None:
             worker.seed_view()
@@ -324,6 +356,9 @@ class StreamService:
                     self._checkpoint_errors[name] = (
                         self._checkpoint_errors.get(name, 0) + 1
                     )
+                    self.registry.counter(
+                        "repro_checkpoint_errors_total", stream=name
+                    ).inc()
         return accepted
 
     def flush(self, name: str | None = None, timeout: float | None = None) -> bool:
@@ -385,8 +420,11 @@ class StreamService:
             state = "failed" if worker.failed else "healthy"
         elif worker.failed and state != "failed":
             state = "degraded"  # crash seen but not yet picked up
-        elif state == "degraded" and worker.queue_depth == 0:
-            state = "healthy"  # backlog drained; supervisor tick catches up
+        elif state == "degraded" and worker.caught_up():
+            # Queue empty alone is not enough -- the last replay batch
+            # may still be mid-ingest; caught_up() also requires no
+            # in-flight batch and a non-stale served view.
+            state = "healthy"
         view = worker.view()
         return {
             "stream": name,
@@ -446,6 +484,44 @@ class StreamService:
         return {n: self._workers[n].stats() for n in self.streams()}
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def metrics(self, name: str | None = None) -> list[dict]:
+        """Every metric sample of the service (or one stream's).
+
+        Covers ingest counters, queue high-watermarks, enqueue-latency
+        reservoirs, dead-letter quarantine, snapshot outcomes, restart
+        counts, per-stage latency series and (where configured) observed
+        accuracy -- one shared registry, labeled per stream.
+        """
+        if name is not None:
+            self._worker(name)  # surface UnknownStreamError
+            return self.registry.collect_labeled(stream=name)
+        return self.registry.collect()
+
+    def prometheus_metrics(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        return to_prometheus_text(self.registry)
+
+    def export_metrics_jsonl(self, path):
+        """Append every current sample to ``path`` as JSON lines."""
+        return write_jsonl(self.registry, path)
+
+    def spans(
+        self, stage: str | None = None, name: str | None = None
+    ) -> list[SpanRecord]:
+        """Recorded stage spans, oldest first, optionally filtered."""
+        return self.tracer.spans(stage=stage, stream=name)
+
+    def accuracy(self, name: str) -> dict | None:
+        """The stream's accuracy-monitor summary (None when not configured)."""
+        worker = self._worker(name)
+        if worker.accuracy is None:
+            return None
+        return worker.accuracy.to_dict()
+
+    # ------------------------------------------------------------------
     # Checkpoint / restore
     # ------------------------------------------------------------------
 
@@ -464,14 +540,15 @@ class StreamService:
         paths = []
         for stream_name in names:
             worker = self._worker(stream_name)
-            state, arrivals, tail = worker.checkpoint_state()
-            payload = {
-                "spec": self._specs[stream_name].to_dict(),
-                "arrivals": arrivals,
-                "state": state,
-                "tail": tail,
-            }
-            paths.append(str(self._store.write(stream_name, payload)))
+            with self.tracer.span("checkpoint", stream_name):
+                state, arrivals, tail = worker.checkpoint_state()
+                payload = {
+                    "spec": self._specs[stream_name].to_dict(),
+                    "arrivals": arrivals,
+                    "state": state,
+                    "tail": tail,
+                }
+                paths.append(str(self._store.write(stream_name, payload)))
             self._checkpoint_marks[stream_name] = arrivals
             generations = self._generation_arrivals.setdefault(
                 stream_name, deque(maxlen=self._store.keep)

@@ -69,13 +69,16 @@ class SnapshotStore:
     before every write so chaos suites can fail snapshots on schedule.
     """
 
-    def __init__(self, directory, *, keep: int = 2, fault_injector=None) -> None:
+    def __init__(
+        self, directory, *, keep: int = 2, fault_injector=None, registry=None
+    ) -> None:
         if keep < 1:
             raise ValueError("keep must be >= 1")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
         self._injector = fault_injector
+        self._registry = registry
         self._manifest_path = self.directory / MANIFEST_NAME
         self.counters = {
             "writes": 0,
@@ -84,6 +87,13 @@ class SnapshotStore:
             "fallback_loads": 0,
             "cleanup_errors": 0,
         }
+
+    def _count(self, key: str, stream: str | None = None) -> None:
+        """Bump a counter; mirrored per stream onto the registry if any."""
+        self.counters[key] += 1
+        if self._registry is not None:
+            labels = {"stream": stream} if stream is not None else {}
+            self._registry.counter(f"repro_snapshot_{key}_total", **labels).inc()
 
     # ------------------------------------------------------------------
     # Manifest
@@ -148,9 +158,9 @@ class SnapshotStore:
             }
             _atomic_write_json(self._manifest_path, manifest)
         except OSError:
-            self.counters["write_failures"] += 1
+            self._count("write_failures", name)
             raise
-        self.counters["writes"] += 1
+        self._count("writes", name)
         self._prune(name)
         return path
 
@@ -177,12 +187,12 @@ class SnapshotStore:
             try:
                 payload = self._load_verified(path, name)
             except SnapshotCorruptError as error:
-                self.counters["corrupt_snapshots"] += 1
+                self._count("corrupt_snapshots", name)
                 logger.warning("snapshot %s rejected: %s", path.name, error)
                 failures.append(f"{path.name}: {error}")
                 continue
             if position > 0:
-                self.counters["fallback_loads"] += 1
+                self._count("fallback_loads", name)
                 logger.warning(
                     "stream %r: fell back to snapshot generation %s",
                     name, path.name,
@@ -240,7 +250,7 @@ class SnapshotStore:
             try:
                 stale.unlink()
             except OSError as error:
-                self.counters["cleanup_errors"] += 1
+                self._count("cleanup_errors", name)
                 logger.warning(
                     "could not remove stale snapshot %s: %s", stale, error
                 )

@@ -37,8 +37,14 @@ replay suffix reproduces the lost worker bit-exactly -- the same
 determinism argument that makes the synopses checkpointable at all.
 
 Every decision is counted (:class:`WorkerCounters`): points submitted /
-ingested / dropped, batches rejected, enqueue wait time, and a ring of
-recent enqueue latencies for percentile reporting.
+ingested / dropped, batches rejected, enqueue wait time, and a bounded
+reservoir of recent enqueue latencies for percentile reporting.  The
+counters live on a :class:`~repro.obs.metrics.MetricsRegistry` (the
+service shares one across its streams, labeled per stream) and stay
+readable through the same attribute names and ``stats()`` dict as
+before; latency percentiles are computed from a single locked reservoir
+snapshot, so a concurrent ``stats()`` can never observe a mutating deque
+or torn p50/p99 pair.
 """
 
 from __future__ import annotations
@@ -46,11 +52,14 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 
 import numpy as np
 
 from ..core.prefix import as_stream_batch
+from ..obs.accuracy import AccuracyMonitor
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import PipelineObserver, Tracer
 from ..runtime.maintainer import Maintainer
 from ..runtime.pipeline import StreamPipeline
 from .deadletter import DeadLetterBuffer
@@ -81,28 +90,128 @@ class WorkerFailedError(RuntimeError):
     """
 
 
-@dataclass
 class WorkerCounters:
-    """Ingestion telemetry of one hosted stream."""
+    """Ingestion telemetry of one hosted stream, backed by the registry.
 
-    submitted_points: int = 0
-    ingested_points: int = 0
-    dropped_points: int = 0
-    rejected_batches: int = 0
-    rejected_points: int = 0
-    enqueued_batches: int = 0
-    drained_batches: int = 0
-    max_queue_depth: int = 0
-    enqueue_wait_seconds: float = 0.0
-    enqueue_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+    Every figure is a labeled instrument on a
+    :class:`~repro.obs.metrics.MetricsRegistry` (a private one when the
+    worker runs standalone), so the same numbers surface through
+    ``stats()`` dicts, ``StreamService.metrics()`` and the Prometheus /
+    JSONL exporters without double bookkeeping.  The former public
+    attributes (``submitted_points``, ``ingested_points``, ...) remain
+    readable as properties.
+
+    Enqueue latencies live in a bounded reservoir histogram whose
+    readers always work from a snapshot taken under the metric's lock --
+    producers appending concurrently can no longer make a ``stats()``
+    call raise ``deque mutated during iteration`` or return a p50/p99
+    pair computed from two different latency populations.
+    """
+
+    #: Retained enqueue-latency observations (matches the old ring size).
+    LATENCY_RESERVOIR = 4096
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, stream: str = ""
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        labels = {"stream": stream}
+        counter = self.registry.counter
+        self._submitted = counter("repro_submitted_points_total", **labels)
+        self._ingested = counter("repro_ingested_points_total", **labels)
+        self._dropped = counter("repro_dropped_points_total", **labels)
+        self._rejected_batches = counter("repro_rejected_batches_total", **labels)
+        self._rejected_points = counter("repro_rejected_points_total", **labels)
+        self._enqueued_batches = counter("repro_enqueued_batches_total", **labels)
+        self._drained_batches = counter("repro_drained_batches_total", **labels)
+        self._enqueue_wait = counter("repro_enqueue_wait_seconds_total", **labels)
+        self._max_queue_depth = self.registry.gauge(
+            "repro_max_queue_depth", **labels
+        )
+        self._latencies = self.registry.histogram(
+            "repro_enqueue_latency_seconds",
+            reservoir=self.LATENCY_RESERVOIR,
+            **labels,
+        )
+
+    # -- mutation verbs (called by the worker under its own locking) ----
+
+    def record_enqueue(self, points: int, waited: float, depth: int) -> None:
+        """One accepted batch: size, time spent waiting, resulting depth."""
+        self._submitted.inc(points)
+        self._enqueued_batches.inc()
+        self._enqueue_wait.inc(waited)
+        self._latencies.observe(waited)
+        self._max_queue_depth.set_max(depth)
+
+    def record_rejected(self, points: int) -> None:
+        self._rejected_batches.inc()
+        self._rejected_points.inc(points)
+
+    def record_dropped(self, points: int) -> None:
+        self._dropped.inc(points)
+
+    def record_drained(self, ingested: int) -> None:
+        self._ingested.inc(ingested)
+        self._drained_batches.inc()
+
+    def record_ingested(self, points: int) -> None:
+        self._ingested.inc(points)
+
+    def note_queue_depth(self, depth: int) -> None:
+        self._max_queue_depth.set_max(depth)
+
+    # -- reader side ----------------------------------------------------
+
+    @property
+    def submitted_points(self) -> int:
+        return self._submitted.value
+
+    @property
+    def ingested_points(self) -> int:
+        return self._ingested.value
+
+    @property
+    def dropped_points(self) -> int:
+        return self._dropped.value
+
+    @property
+    def rejected_batches(self) -> int:
+        return self._rejected_batches.value
+
+    @property
+    def rejected_points(self) -> int:
+        return self._rejected_points.value
+
+    @property
+    def enqueued_batches(self) -> int:
+        return self._enqueued_batches.value
+
+    @property
+    def drained_batches(self) -> int:
+        return self._drained_batches.value
+
+    @property
+    def max_queue_depth(self) -> int:
+        return int(self._max_queue_depth.value)
+
+    @property
+    def enqueue_wait_seconds(self) -> float:
+        return self._enqueue_wait.value
+
+    @property
+    def enqueue_latencies(self) -> list[float]:
+        """A consistent snapshot of the recent enqueue latencies."""
+        return self._latencies.snapshot()
 
     def latency_quantile(self, fraction: float) -> float:
         """Quantile of recent enqueue latencies in seconds (0 if none)."""
-        if not self.enqueue_latencies:
-            return 0.0
-        return float(np.quantile(list(self.enqueue_latencies), fraction))
+        return self._latencies.quantile(fraction)
 
     def to_dict(self) -> dict:
+        # Both percentiles come from ONE reservoir snapshot: they always
+        # describe the same set of observations.
+        marks = self._latencies.quantiles((0.50, 0.99))
         return {
             "submitted_points": self.submitted_points,
             "ingested_points": self.ingested_points,
@@ -113,8 +222,8 @@ class WorkerCounters:
             "drained_batches": self.drained_batches,
             "max_queue_depth": self.max_queue_depth,
             "enqueue_wait_seconds": self.enqueue_wait_seconds,
-            "enqueue_p50_seconds": self.latency_quantile(0.50),
-            "enqueue_p99_seconds": self.latency_quantile(0.99),
+            "enqueue_p50_seconds": marks[0.50],
+            "enqueue_p99_seconds": marks[0.99],
         }
 
 
@@ -133,6 +242,13 @@ class StreamWorker:
     ``track_replay`` retains ingested batches for supervised recovery;
     ``dead_letter`` lets a supervisor carry the quarantine buffer across
     a restart.
+
+    Observability is opt-in per handle: ``registry`` hosts the worker's
+    counters (a private registry is created when omitted), ``tracer``
+    attaches per-stage spans (ingest / maintain through the pipeline
+    observer, materialize here), and ``accuracy`` shadows ingested
+    points with an exact window that is checked against the served
+    synopsis on its own cadence.
     """
 
     def __init__(
@@ -149,6 +265,9 @@ class StreamWorker:
         track_replay: bool = False,
         dead_letter: DeadLetterBuffer | None = None,
         dead_letter_capacity: int = 1024,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        accuracy: AccuracyMonitor | None = None,
     ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
@@ -166,11 +285,17 @@ class StreamWorker:
         self.queue_capacity = queue_capacity
         self.backpressure = backpressure
         self.poison = poison
-        self.counters = WorkerCounters()
+        self.counters = WorkerCounters(registry, name)
+        self.tracer = tracer
+        self.accuracy = accuracy
         self.dead_letter = (
             dead_letter
             if dead_letter is not None
-            else DeadLetterBuffer(capacity=dead_letter_capacity)
+            else DeadLetterBuffer(
+                capacity=dead_letter_capacity,
+                registry=self.counters.registry,
+                stream=name,
+            )
         )
         self._injector = injector
         self._track_replay = track_replay
@@ -179,6 +304,9 @@ class StreamWorker:
             [maintainer],
             maintain_every=maintain_every,
             initial_arrivals=initial_arrivals,
+            observer=(
+                PipelineObserver(tracer, name) if tracer is not None else None
+            ),
         )
         self._queue: deque[np.ndarray] = deque()
         self._queued_points = 0
@@ -215,7 +343,7 @@ class StreamWorker:
         """
         with self._cv:
             if not drain:
-                self.counters.dropped_points += self._queued_points
+                self.counters.record_dropped(self._queued_points)
                 self._queue.clear()
                 self._queued_points = 0
             self._stop_requested = True
@@ -248,6 +376,38 @@ class StreamWorker:
         with self._cv:
             return self._queued_points
 
+    @property
+    def in_flight(self) -> bool:
+        """True while a dequeued batch is still being ingested."""
+        with self._cv:
+            return self._in_flight is not None
+
+    def caught_up(self) -> bool:
+        """Has this worker fully processed everything handed to it?
+
+        True only when the queue is empty, no dequeued batch is still
+        mid-ingest, and the served view is not a stale adoption from a
+        crashed predecessor.  An empty queue alone is *not* enough: the
+        worker pops a batch before feeding it, so ``queue_depth == 0``
+        can coincide with the final replay batch being applied -- the
+        exact window in which a supervisor must not yet report the
+        stream healthy.
+        """
+        with self._cv:
+            if self._queue or self._in_flight is not None:
+                return False
+            if self._error is not None:
+                return False
+        view = self.view()
+        if view is None or not view.stale:
+            return True
+        # Still serving an adopted stale view with nothing left to drain:
+        # there was no replay traffic to re-materialize it.  Refresh in
+        # place; the maintainer state is already current.
+        self.seed_view()
+        view = self.view()
+        return view is not None and not view.stale
+
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
@@ -277,8 +437,7 @@ class StreamWorker:
                     raise RuntimeError(f"stream {self.name!r} is stopped")
             elif self.backpressure == "reject":
                 if not self._fits(batch.size):
-                    self.counters.rejected_batches += 1
-                    self.counters.rejected_points += batch.size
+                    self.counters.record_rejected(batch.size)
                     raise BackpressureError(
                         f"stream {self.name!r} queue full "
                         f"({self._queued_points}/{self.queue_capacity} points)"
@@ -287,17 +446,11 @@ class StreamWorker:
                 while not self._fits(batch.size) and self._queue:
                     evicted = self._queue.popleft()
                     self._queued_points -= evicted.size
-                    self.counters.dropped_points += evicted.size
+                    self.counters.record_dropped(evicted.size)
             waited = time.perf_counter() - started
             self._queue.append(batch)
             self._queued_points += batch.size
-            self.counters.submitted_points += batch.size
-            self.counters.enqueued_batches += 1
-            self.counters.enqueue_wait_seconds += waited
-            self.counters.enqueue_latencies.append(waited)
-            self.counters.max_queue_depth = max(
-                self.counters.max_queue_depth, self._queued_points
-            )
+            self.counters.record_enqueue(batch.size, waited, self._queued_points)
             self._cv.notify_all()
         return batch.size
 
@@ -319,9 +472,7 @@ class StreamWorker:
                 self._queue.append(batch)
                 self._queued_points += batch.size
                 total += batch.size
-            self.counters.max_queue_depth = max(
-                self.counters.max_queue_depth, self._queued_points
-            )
+            self.counters.note_queue_depth(self._queued_points)
         return total
 
     def _fits(self, size: int) -> bool:
@@ -367,8 +518,7 @@ class StreamWorker:
             try:
                 with self._state_lock:
                     ingested = self._feed(batch)
-                    self.counters.ingested_points += ingested
-                    self.counters.drained_batches += 1
+                    self.counters.record_drained(ingested)
                     self._materialize()
                     with self._cv:
                         self._in_flight = None
@@ -409,6 +559,8 @@ class StreamWorker:
             applied = self._pipeline.arrivals - start
             if applied and self._track_replay:
                 self._replay.append((start, batch[:applied].copy()))
+            if applied and self.accuracy is not None:
+                self.accuracy.extend(batch[:applied])
             rest = batch[applied:]
             self._fatal_leftover = rest
             if (
@@ -423,6 +575,8 @@ class StreamWorker:
             return applied + clean
         if self._track_replay:
             self._replay.append((start, batch.copy()))
+        if self.accuracy is not None:
+            self.accuracy.extend(batch)
         self._fatal_leftover = None
         return int(batch.size)
 
@@ -448,6 +602,8 @@ class StreamWorker:
             else:
                 if self._track_replay:
                     self._replay.append((start, point))
+                if self.accuracy is not None:
+                    self.accuracy.extend(point)
                 clean += 1
         return clean
 
@@ -458,6 +614,7 @@ class StreamWorker:
         staleness side of the maintenance cadence); the result is frozen
         so concurrent queries can never observe later mutation.
         """
+        started = time.perf_counter()
         produce = getattr(self.maintainer, "last_synopsis", None)
         try:
             synopsis = produce() if produce is not None else self.maintainer.synopsis()
@@ -470,6 +627,12 @@ class StreamWorker:
         )
         with self._view_lock:
             self._view = view
+        if self.tracer is not None:
+            self.tracer.record(
+                "materialize", self.name, time.perf_counter() - started
+            )
+        if self.accuracy is not None:
+            self.accuracy.maybe_check(self._pipeline.arrivals, synopsis)
 
     def seed_view(self) -> None:
         """Materialize an initial view outside the worker thread.
@@ -515,7 +678,9 @@ class StreamWorker:
                 else:
                     if self._track_replay:
                         self._replay.append((start, point))
-                    self.counters.ingested_points += 1
+                    if self.accuracy is not None:
+                        self.accuracy.extend(point)
+                    self.counters.record_ingested(1)
                     succeeded += 1
             if succeeded:
                 self._materialize()
@@ -606,5 +771,8 @@ class StreamWorker:
             "ingest_seconds": maintainer_stats.ingest_seconds,
             "maintain_seconds": maintainer_stats.maintain_seconds,
             "dead_letter": self.dead_letter.counters(),
+            "accuracy": (
+                self.accuracy.to_dict() if self.accuracy is not None else None
+            ),
             **self.counters.to_dict(),
         }

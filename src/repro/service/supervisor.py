@@ -175,7 +175,13 @@ class StreamSupervisor:
                             self._last_error[name] = repr(error)
                             self._cond.notify_all()
                 elif self._states.get(name) == "degraded":
-                    if worker.queue_depth == 0 and not worker.failed:
+                    # An empty queue is not the same as a drained backlog:
+                    # the worker pops a batch *before* feeding it, so the
+                    # last replay batch can still be mid-ingest (and the
+                    # served view still the dead worker's stale adoption)
+                    # while queue_depth reads 0.  Promote only once the
+                    # worker reports itself fully caught up.
+                    if not worker.failed and worker.caught_up():
                         with self._cond:
                             self._states[name] = "healthy"
                             self._cond.notify_all()
@@ -204,6 +210,18 @@ class StreamSupervisor:
         # full backoff of a crash-looping stream.
         if self._stop_event.wait(self.policy.delay(count)):
             return
+        tracer = getattr(service, "tracer", None)
+        if tracer is None:
+            self._rebuild(name, dead, count)
+        else:
+            # The span lands even when the rebuild raises (status carries
+            # the exception type), so failed recoveries are visible too.
+            with tracer.span("recover", name, restart=count + 1):
+                self._rebuild(name, dead, count)
+
+    def _rebuild(self, name: str, dead, count: int) -> None:
+        """Build, seed and start the replacement worker for ``name``."""
+        service = self._service
         spec = service._specs[name]
         pending = dead.drain_pending()
         replay = dead.replay_batches()
@@ -247,6 +265,11 @@ class StreamSupervisor:
             worker.start()
             self._states[name] = "degraded"
             self._cond.notify_all()
+        registry = getattr(service, "registry", None)
+        if registry is not None:
+            registry.counter("repro_restarts_total", stream=name).inc()
+            if lossy:
+                registry.counter("repro_lossy_recoveries_total", stream=name).inc()
         logger.warning(
             "stream %r restarted from arrival %d (replaying %d points, "
             "%d pending)",

@@ -84,7 +84,17 @@ class DynamicWaveletHistogram:
         self._count -= 1
 
     def extend(self, values) -> None:
-        for value in values:
+        # Coerce and range-check the whole batch up front: an out-of-domain
+        # (or NaN) value mid-batch must not leave the preceding values
+        # inserted (all-or-nothing, the contract batch callers roll back
+        # against).
+        coerced = [int(value) for value in values]
+        for value in coerced:
+            if not (0 <= value < self.domain_size):
+                raise ValueError(
+                    f"value {value} outside domain [0, {self.domain_size})"
+                )
+        for value in coerced:
             self.insert(value)
 
     def to_dict(self) -> dict:

@@ -292,3 +292,71 @@ class TestSlowIngestFaults:
             slow = [e for e in injector.events if e["kind"] == "slow"]
             assert len(slow) == 1
             assert injector.pending() == 0
+
+
+class TestRecoveryObservability:
+    """Crash recovery leaves a visible trail: spans plus restart metrics."""
+
+    def test_recovery_emits_recover_span_and_restart_metrics(self):
+        stream = integer_stream(600, seed=11)
+        injector = FaultInjector(seed=7).crash_at(300, stream="s")
+        with StreamService(
+            supervise=True, restart_policy=FAST_RESTARTS,
+            fault_injector=injector,
+        ) as service:
+            service.create_stream(
+                "s", backend="exact", params=dict(window_size=64),
+                maintain_every=16,
+            )
+            for start in range(0, 600, 50):
+                service.ingest("s", stream[start : start + 50])
+            assert service.flush("s") is True
+            assert wait_for_state(service, "s", "healthy") == "healthy"
+            assert service.stats("s")["arrivals"] == 600
+
+            spans = service.spans(stage="recover", name="s")
+            assert len(spans) == 1
+            assert spans[0].status == "ok"
+            assert spans[0].meta["restart"] == 1
+            # The replacement's replay traffic shows up as ingest spans
+            # on the same shared tracer.
+            assert service.spans(stage="ingest", name="s")
+
+            samples = {
+                s["name"]: s["value"] for s in service.metrics("s")
+                if s["kind"] in ("counter", "gauge")
+            }
+            assert samples["repro_restarts_total"] == 1
+            assert samples.get("repro_lossy_recoveries_total", 0) == 0
+            # The replacement re-ingests the replay suffix, so the drained
+            # total exceeds the deduplicated arrival counter.
+            assert samples["repro_ingested_points_total"] >= 600
+
+    def test_exhausted_budget_restarts_are_all_traced(self):
+        stream = integer_stream(300, seed=9)
+        injector = FaultInjector().crash_at(150, stream="s", times=50)
+        policy = RestartPolicy(
+            max_restarts=2, backoff_initial=0.01, backoff_max=0.02
+        )
+        with StreamService(supervise=True, restart_policy=policy,
+                           fault_injector=injector) as service:
+            service.create_stream(
+                "s", backend="exact", params=dict(window_size=64),
+                maintain_every=16,
+            )
+            service.ingest("s", stream[:100])
+            service.flush("s")
+            with pytest.raises(StreamFailedError, match="restart budget"):
+                for start in range(100, 300, 50):
+                    service.ingest("s", stream[start : start + 50])
+                service.flush("s")
+            assert wait_for_state(service, "s", "failed") == "failed"
+            # Every restart attempt within the budget was traced and
+            # counted; the budget bounds both.
+            spans = service.spans(stage="recover", name="s")
+            assert len(spans) == 2
+            restarts = [
+                s["value"] for s in service.metrics("s")
+                if s["name"] == "repro_restarts_total"
+            ]
+            assert restarts and restarts[0] == 2
