@@ -1,4 +1,9 @@
-"""Small timing helpers for the experiment harness."""
+"""Small timing helpers for the experiment harness.
+
+Both helpers accept an injectable ``clock`` (any zero-argument callable
+returning seconds) so benchmark plumbing can be tested deterministically
+against a fake clock; the default is ``time.perf_counter``.
+"""
 
 from __future__ import annotations
 
@@ -8,11 +13,15 @@ from typing import Any, Callable
 __all__ = ["time_call", "Stopwatch"]
 
 
-def time_call(fn: Callable[[], Any]) -> tuple[Any, float]:
+def time_call(
+    fn: Callable[[], Any],
+    *,
+    clock: Callable[[], float] = time.perf_counter,
+) -> tuple[Any, float]:
     """Run ``fn`` once; return (result, elapsed seconds)."""
-    started = time.perf_counter()
+    started = clock()
     result = fn()
-    return result, time.perf_counter() - started
+    return result, clock() - started
 
 
 class Stopwatch:
@@ -25,15 +34,16 @@ class Stopwatch:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self.elapsed = 0.0
+        self._clock = clock
         self._started: float | None = None
 
     def __enter__(self) -> "Stopwatch":
-        self._started = time.perf_counter()
+        self._started = self._clock()
         return self
 
     def __exit__(self, *exc_info) -> None:
         assert self._started is not None
-        self.elapsed += time.perf_counter() - self._started
+        self.elapsed += self._clock() - self._started
         self._started = None

@@ -167,6 +167,15 @@ class AccuracyMonitor:
         """Run a check when the cadence is due (returns the report, if any)."""
         if arrivals - self._last_checked < self.check_every:
             return None
+        return self.force_check(arrivals, synopsis)
+
+    def force_check(self, arrivals: int, synopsis) -> AccuracyReport | None:
+        """Run a check now, ignoring the cadence (certification path).
+
+        Still returns None when no meaningful comparison exists: an empty
+        shadow window, or an SSE comparison before the window has re-
+        aligned with the synopsis after a restore.
+        """
         if len(self._window) == 0:
             return None
         if self._resolve_mode(synopsis) == "sse" and not self._aligned(arrivals):

@@ -32,7 +32,7 @@ from .metrics import MetricsRegistry
 __all__ = ["PipelineObserver", "SpanRecord", "Tracer"]
 
 #: The service stages a span may describe, in pipeline order.
-STAGES = ("ingest", "maintain", "materialize", "checkpoint", "recover")
+STAGES = ("ingest", "maintain", "materialize", "checkpoint", "recover", "certify")
 
 STAGE_SECONDS_METRIC = "repro_stage_seconds"
 SPANS_TOTAL_METRIC = "repro_spans_total"

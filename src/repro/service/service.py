@@ -521,6 +521,88 @@ class StreamService:
             return None
         return worker.accuracy.to_dict()
 
+    def certify(
+        self,
+        name: str,
+        *,
+        profile: str = "uniform",
+        seed: int = 0,
+        points: int = 512,
+        timeout: float | None = None,
+    ) -> dict:
+        """Certify a hosted stream: live accuracy, restore fidelity, config.
+
+        Three layers, strongest available first:
+
+        1. **Live accuracy** -- if the stream carries an
+           :class:`~repro.obs.accuracy.AccuracyMonitor`, force a check of
+           the served synopsis against the exact shadow window right now
+           (no cadence wait).
+        2. **Restore fidelity** -- push the worker's ``state_dict``
+           through a real JSON round-trip into a fresh maintainer and
+           require an identical synopsis (the checkpoint/restore
+           metamorphic identity, on the *live* state).
+        3. **Configuration certification** -- run the offline
+           :class:`~repro.verify.differential.DifferentialChecker` for
+           the spec's exact backend and parameters over a seeded fuzzed
+           stream, auditing epsilon bounds and metamorphic equivalences
+           against the exact oracle.
+
+        The stream is flushed first; certify on a quiescent stream (a
+        concurrent ingester can race the layer-2 comparison).  Returns a
+        JSON-serializable report; ``report["passed"]`` aggregates all
+        three layers.
+        """
+        import json
+
+        from ..verify import DifferentialChecker, observe
+
+        spec = self.spec(name)
+        worker = self._worker(name)
+        self.flush(name, timeout=timeout)
+
+        with self.tracer.span("certify", name):
+            state, arrivals, _tail = worker.checkpoint_state()
+
+            live = None
+            if worker.accuracy is not None:
+                report = worker.accuracy.force_check(
+                    arrivals, self.synopsis(name)
+                )
+                if report is not None:
+                    live = report.to_dict()
+
+            clone = spec.build_maintainer()
+            clone.load_state_dict(json.loads(json.dumps(state)))
+            restore_ok = (
+                observe(clone)["synopsis"]
+                == observe(worker.maintainer)["synopsis"]
+            )
+
+            differential = DifferentialChecker(
+                spec.backend,
+                spec.params,
+                profile=profile,
+                seed=seed,
+                total_points=points,
+            ).run()
+
+        passed = (
+            (live is None or live["within_bound"])
+            and restore_ok
+            and differential.passed
+        )
+        return {
+            "stream": name,
+            "backend": spec.backend,
+            "params": dict(spec.params),
+            "arrivals": arrivals,
+            "passed": passed,
+            "live_accuracy": live,
+            "restore_identity": restore_ok,
+            "differential": differential.to_dict(),
+        }
+
     # ------------------------------------------------------------------
     # Checkpoint / restore
     # ------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Differential-oracle and metamorphic certification of synopsis backends.
+
+The subsystem has three pillars:
+
+* :mod:`repro.verify.oracles` -- exact reference implementations (the
+  O(n^2 B) V-optimal DP, exact sliding-window sums and quantiles, exact
+  Haar transforms) behind the uniform :class:`Oracle` protocol;
+* :mod:`repro.verify.differential` -- :class:`DifferentialChecker`
+  drives any registry backend and its oracle in lockstep over a seeded
+  :class:`StreamFuzzer`, auditing epsilon bounds plus the batch-split
+  and checkpoint/restore metamorphic equivalences;
+* :mod:`repro.verify.runner` -- grid sweeps producing a JSON
+  :class:`CertificationReport`, exposed as ``python -m repro.verify``.
+"""
+
+from .differential import DifferentialChecker, DifferentialResult, observe
+from .fuzzer import PROFILES, StreamFuzzer
+from .oracles import Oracle, Violation, oracle_for
+from .runner import (
+    GRID_BACKENDS,
+    CertificationCase,
+    CertificationReport,
+    certify,
+    default_grid,
+)
+
+__all__ = [
+    "CertificationCase",
+    "CertificationReport",
+    "DifferentialChecker",
+    "DifferentialResult",
+    "GRID_BACKENDS",
+    "Oracle",
+    "PROFILES",
+    "StreamFuzzer",
+    "Violation",
+    "certify",
+    "default_grid",
+    "observe",
+    "oracle_for",
+]

@@ -1,0 +1,96 @@
+"""``python -m repro.verify`` -- the certification CLI.
+
+Sweeps registry backends x fuzzing profiles x parameter grids through
+the differential checker and prints a certification report.  Exits
+non-zero if any backend violates its guarantee, so the command doubles
+as a CI gate::
+
+    python -m repro.verify --quick             # all 8 backends, < 2 min
+    python -m repro.verify                     # full profile/param sweep
+    python -m repro.verify --backend wavelet --profile spike --points 4096
+    python -m repro.verify --quick --out report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .fuzzer import PROFILES
+from .runner import GRID_BACKENDS, certify, default_grid
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Certify synopsis backends against exact oracles.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="baseline config per backend over two profiles (CI gate)",
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        choices=sorted(GRID_BACKENDS),
+        help="restrict to this backend (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="append",
+        choices=PROFILES,
+        help="restrict to this fuzzing profile (repeatable)",
+    )
+    parser.add_argument(
+        "--points", type=int, default=None, help="stream length per case"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base fuzzing seed (default 0)"
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the selected grid and exit without running",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.points is not None and args.points < 1:
+        print("error: --points must be >= 1", file=sys.stderr)
+        return 2
+    cases = default_grid(
+        quick=args.quick,
+        backends=args.backend,
+        profiles=args.profile,
+        points=args.points,
+        seed=args.seed,
+    )
+    if args.list:
+        for case in cases:
+            print(f"{case.label()}  points={case.points} params={case.params}")
+        print(f"{len(cases)} cases")
+        return 0
+
+    def progress(result) -> None:
+        status = "ok" if result.passed else "FAIL"
+        print(f"  {result.backend}/{result.profile} ... {status}", flush=True)
+
+    print(f"certifying {len(cases)} cases", flush=True)
+    report = certify(cases, progress=progress)
+    print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.out}")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Deterministic seeded stream fuzzing for differential certification.
+
+:class:`StreamFuzzer` produces the value streams the
+:class:`~repro.verify.differential.DifferentialChecker` drives through a
+maintainer and its oracle in lockstep.  Two properties matter more than
+variety:
+
+* **Single-seed determinism.**  Every number -- values *and* batch
+  boundaries -- comes from one ``numpy.random.Generator``, so a failing
+  certification reproduces from ``(profile, seed)`` alone.
+* **Integer-valued floats.**  All profiles emit whole numbers small
+  enough that every prefix sum and sum of squares is exactly
+  representable in float64.  That makes the metamorphic equivalences
+  (``extend(a + b)`` vs ``extend(a); extend(b)``, checkpoint round-trips)
+  *bit-exact* rather than approximately equal: any drift at all is a
+  real associativity bug, not rounding noise.
+
+Profiles cover the regimes the backends find easy and hard: ``uniform``
+noise (many near-ties in the DP), ``zipf`` categorical skew (the
+warehouse workload), ``sorted`` monotone ramps (adversarial for GK
+summary compression), ``spike`` flat base with rare huge outliers
+(adversarial for SSE -- one misplaced bucket boundary is catastrophic),
+and ``permutation`` streams where every value is distinct (adversarial
+for tie-breaking and rank logic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StreamFuzzer", "PROFILES"]
+
+PROFILES = ("uniform", "zipf", "sorted", "spike", "permutation")
+
+#: Spike height cap: 1e5 squared, summed over thousands of points, stays
+#: well inside float64's exact-integer range (2^53).
+_SPIKE_HEIGHT = 100_000.0
+
+
+class StreamFuzzer:
+    """Seeded generator of profiled, integer-valued stream batches.
+
+    Parameters
+    ----------
+    profile:
+        One of :data:`PROFILES`.
+    seed:
+        Everything derives from this one seed.
+    high:
+        Inclusive upper bound of the base value range (values are always
+        non-negative, so every backend -- including the non-negative
+        equi-depth summary and the domain-bounded dynamic wavelet -- can
+        ingest every profile).  Spikes exceed ``high`` by design unless
+        the profile is domain-bounded via ``clip_domain``.
+    clip_domain:
+        When set, every emitted value is clipped into
+        ``[0, clip_domain - 1]`` (required by ``dynamic_wavelet``).
+    """
+
+    def __init__(
+        self,
+        profile: str,
+        seed: int = 0,
+        *,
+        high: int = 100,
+        clip_domain: int | None = None,
+    ) -> None:
+        if profile not in PROFILES:
+            raise ValueError(f"unknown profile {profile!r}; use one of {PROFILES}")
+        if high < 1:
+            raise ValueError("high must be >= 1")
+        if clip_domain is not None and clip_domain < 1:
+            raise ValueError("clip_domain must be >= 1 (or None)")
+        self.profile = profile
+        self.seed = int(seed)
+        self.high = int(high)
+        self.clip_domain = clip_domain
+        self._rng = np.random.default_rng(self.seed)
+        self._emitted = 0
+
+    # ------------------------------------------------------------------
+    # Value generation
+    # ------------------------------------------------------------------
+
+    def _raw(self, size: int) -> np.ndarray:
+        rng = self._rng
+        if self.profile == "uniform":
+            values = rng.integers(0, self.high + 1, size=size).astype(np.float64)
+        elif self.profile == "zipf":
+            values = np.minimum(
+                rng.zipf(1.3, size=size), self.high
+            ).astype(np.float64)
+        elif self.profile == "sorted":
+            values = np.sort(
+                rng.integers(0, self.high + 1, size=size)
+            ).astype(np.float64) + float(self._emitted % (self.high + 1))
+        elif self.profile == "spike":
+            values = rng.integers(0, 4, size=size).astype(np.float64)
+            spikes = rng.random(size) < 0.03
+            values[spikes] = rng.integers(
+                _SPIKE_HEIGHT // 2, _SPIKE_HEIGHT, size=int(spikes.sum())
+            ).astype(np.float64)
+        else:  # permutation: every value distinct within the chunk
+            values = rng.permutation(size).astype(np.float64) + float(
+                self._emitted
+            )
+        if self.clip_domain is not None:
+            values = np.minimum(values, float(self.clip_domain - 1))
+        return np.maximum(values, 0.0)
+
+    def take(self, size: int) -> np.ndarray:
+        """The next ``size`` stream values as one float64 array."""
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        values = self._raw(size)
+        self._emitted += size
+        return values
+
+    def batches(
+        self, total: int, *, min_batch: int = 1, max_batch: int = 48
+    ):
+        """Yield ``total`` points split into randomly sized batches.
+
+        Batch boundaries come from the same generator as the values, so
+        the full ingestion schedule is reproducible from the seed.
+        """
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        if not (1 <= min_batch <= max_batch):
+            raise ValueError("need 1 <= min_batch <= max_batch")
+        remaining = total
+        while remaining > 0:
+            size = int(self._rng.integers(min_batch, max_batch + 1))
+            size = min(size, remaining)
+            yield self.take(size)
+            remaining -= size

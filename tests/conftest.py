@@ -27,8 +27,58 @@ float_sequences = st.lists(
     max_size=64,
 ).map(lambda xs: np.asarray(xs, dtype=np.float64))
 
+#: Raw integer lists (no numpy mapping) for window/order-statistics tests
+#: that index into the original Python list.
+int_point_lists = st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=80)
+
+#: Signed integer lists, long enough to force GK summary compression.
+signed_int_lists = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=1, max_size=400
+)
+
 bucket_counts = st.integers(min_value=1, max_value=8)
 epsilons = st.sampled_from([0.05, 0.1, 0.25, 0.5, 1.0])
+
+
+# ---------------------------------------------------------------------------
+# Registry backends
+# ---------------------------------------------------------------------------
+
+#: Canonical constructor parameters for every registry backend, shared by
+#: all backend sweeps (runtime, service, chaos, obs, verify).  Sized small
+#: so exact-oracle comparisons stay fast.
+BACKEND_PARAMS: dict[str, dict] = {
+    "fixed_window": dict(window_size=64, num_buckets=8, epsilon=0.25),
+    "agglomerative": dict(num_buckets=8, epsilon=0.25),
+    "wavelet": dict(window_size=64, budget=8),
+    "dynamic_wavelet": dict(domain_size=128, budget=8),
+    "gk_quantiles": dict(epsilon=0.05),
+    "equi_depth": dict(num_buckets=8),
+    "reservoir": dict(capacity=32),
+    "exact": dict(window_size=64),
+}
+
+
+def _registry_backends() -> list[str]:
+    from repro.runtime.registry import available_maintainers
+
+    return sorted(available_maintainers())
+
+
+@pytest.fixture(params=_registry_backends())
+def all_backends(request) -> tuple[str, dict]:
+    """``(backend, params)`` for every backend the registry exposes.
+
+    Parametrized over the registry itself, so registering a ninth
+    backend automatically enrolls it in every sweep that uses this
+    fixture -- and fails loudly until canonical test parameters exist.
+    """
+    name = request.param
+    assert name in BACKEND_PARAMS, (
+        f"backend {name!r} is registered but has no canonical test params; "
+        "add it to tests/conftest.py BACKEND_PARAMS"
+    )
+    return name, dict(BACKEND_PARAMS[name])
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,186 @@
+"""Edge-case tests for repro.query.accuracy and repro.bench harness pieces.
+
+The accuracy metric is the paper's section 5.1 reporting figure and the
+harness timing/table plumbing feeds EXPERIMENTS.md; both were previously
+exercised only incidentally through the experiment scripts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ResultTable
+from repro.bench.timing import Stopwatch, time_call
+from repro.core.fixed_window import FixedWindowHistogramBuilder
+from repro.query.accuracy import measure_accuracy
+from repro.query.queries import PointQuery, RangeQuery, evaluate_exact
+
+
+def _histogram_for(values, num_buckets=8, epsilon=0.1):
+    builder = FixedWindowHistogramBuilder(
+        window_size=len(values), num_buckets=num_buckets, epsilon=epsilon
+    )
+    builder.extend(np.asarray(values, dtype=np.float64))
+    return builder.histogram()
+
+
+class TestMeasureAccuracy:
+    def test_requires_queries(self):
+        with pytest.raises(ValueError):
+            measure_accuracy(
+                _histogram_for([1.0, 2.0]), np.asarray([1.0, 2.0]), []
+            )
+
+    def test_empty_window_rejected_by_exact_evaluation(self):
+        """A query over an empty window has no ground truth: the exact
+        evaluator refuses rather than fabricating a zero."""
+        with pytest.raises(ValueError):
+            evaluate_exact(RangeQuery(0, 0), np.asarray([], dtype=np.float64))
+
+    def test_budget_at_least_n_is_exact(self):
+        """B >= n: every point gets its own bucket, all errors vanish."""
+        values = np.asarray([5.0, 1.0, 9.0, 4.0])
+        histogram = _histogram_for(values, num_buckets=8)
+        queries = [PointQuery(i) for i in range(4)] + [RangeQuery(0, 3)]
+        accuracy = measure_accuracy(histogram, values, queries)
+        assert accuracy.count == 5
+        assert accuracy.mean_absolute_error == 0.0
+        assert accuracy.root_mean_squared_error == 0.0
+        assert accuracy.max_absolute_error == 0.0
+
+    def test_single_bucket_averages_the_window(self):
+        values = np.asarray([0.0, 10.0])
+        histogram = _histogram_for(values, num_buckets=1)
+        accuracy = measure_accuracy(
+            histogram, values, [PointQuery(0), PointQuery(1)]
+        )
+        # One bucket serves the mean (5.0) for both positions.
+        assert accuracy.mean_absolute_error == pytest.approx(5.0)
+        assert accuracy.max_absolute_error == pytest.approx(5.0)
+        # The full-range sum is still exact under a single bucket.
+        exact_sum = measure_accuracy(histogram, values, [RangeQuery(0, 1)])
+        assert exact_sum.mean_absolute_error == pytest.approx(0.0)
+
+    def test_relative_floor_guards_zero_exact_answers(self):
+        values = np.asarray([0.0, 0.0, 8.0, 0.0])
+        histogram = _histogram_for(values, num_buckets=1)
+        queries = [RangeQuery(0, 1)]  # exact answer 0
+        floored = measure_accuracy(histogram, values, queries)
+        # |approx - 0| / max(0, floor=1): denominator is the floor.
+        assert floored.mean_relative_error == pytest.approx(
+            floored.mean_absolute_error
+        )
+        loose = measure_accuracy(histogram, values, queries, relative_floor=100.0)
+        assert loose.mean_relative_error == pytest.approx(
+            floored.mean_absolute_error / 100.0
+        )
+
+    def test_aggregate_statistics_are_consistent(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 20, 64).astype(np.float64)
+        histogram = _histogram_for(values, num_buckets=4)
+        queries = [RangeQuery(i, min(63, i + 9)) for i in range(0, 60, 7)]
+        accuracy = measure_accuracy(histogram, values, queries)
+        assert accuracy.count == len(queries)
+        assert accuracy.max_absolute_error >= accuracy.mean_absolute_error
+        assert accuracy.root_mean_squared_error >= accuracy.mean_absolute_error
+        assert str(accuracy).startswith(f"{len(queries)} queries")
+
+    def test_query_validation(self):
+        with pytest.raises(ValueError):
+            RangeQuery(3, 1)
+        with pytest.raises(ValueError):
+            RangeQuery(-1, 2)
+        with pytest.raises(ValueError):
+            RangeQuery(0, 1, aggregate="median")
+        with pytest.raises(ValueError):
+            PointQuery(-1)
+
+    def test_average_aggregate(self):
+        values = np.asarray([2.0, 4.0, 6.0])
+        query = RangeQuery(0, 2, aggregate="avg")
+        assert evaluate_exact(query, values) == pytest.approx(4.0)
+
+
+class _FakeClock:
+    """A clock that replays a scripted sequence of instants."""
+
+    def __init__(self, *instants: float) -> None:
+        self._instants = list(instants)
+
+    def __call__(self) -> float:
+        return self._instants.pop(0)
+
+
+class TestDeterministicTiming:
+    def test_time_call_under_fixed_clock(self):
+        result, elapsed = time_call(lambda: 41 + 1, clock=_FakeClock(10.0, 12.5))
+        assert result == 42
+        assert elapsed == pytest.approx(2.5)
+
+    def test_stopwatch_accumulates_under_fixed_clock(self):
+        watch = Stopwatch(clock=_FakeClock(1.0, 2.0, 5.0, 9.0))
+        with watch:
+            pass
+        assert watch.elapsed == pytest.approx(1.0)
+        with watch:
+            pass
+        assert watch.elapsed == pytest.approx(5.0)
+
+    def test_default_clock_is_monotonic_wall_time(self):
+        _, elapsed = time_call(lambda: None)
+        assert elapsed >= 0.0
+        watch = Stopwatch()
+        with watch:
+            pass
+        assert watch.elapsed >= 0.0
+
+
+class TestResultTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            ResultTable("empty", [])
+
+    def test_row_validation(self):
+        table = ResultTable("t", ["n", "error"])
+        with pytest.raises(ValueError):
+            table.add_row(n=1)  # missing column
+        with pytest.raises(ValueError):
+            table.add_row(n=1, error=0.5, extra=2)  # unknown column
+        table.add_row(n=1, error=0.5)
+        assert len(table) == 1
+        assert table.rows() == [{"n": 1, "error": 0.5}]
+
+    def test_column_access(self):
+        table = ResultTable("t", ["n", "error"])
+        table.add_row(n=1, error=0.25)
+        table.add_row(n=2, error=0.5)
+        assert table.column("error") == [0.25, 0.5]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_render_is_deterministic(self):
+        table = ResultTable("sweep", ["n", "sse"])
+        table.add_row(n=10, sse=0.125)
+        table.add_row(n=1000, sse=0.0)
+        first = table.render()
+        assert first == table.render() == str(table)
+        lines = first.splitlines()
+        assert lines[0] == "sweep"
+        assert "n" in lines[2] and "sse" in lines[2]
+        assert len(lines) == 6  # title, rule, header, rule, 2 rows
+
+    def test_render_empty_table(self):
+        table = ResultTable("empty", ["a"])
+        assert "empty" in table.render()
+
+    def test_float_formatting(self):
+        table = ResultTable("fmt", ["v"])
+        for value in (0.0, 1.5, 1234567.0, 0.0001):
+            table.add_row(v=value)
+        rendered = table.to_tsv().splitlines()
+        assert rendered[1] == "0"
+        assert rendered[2] == "1.5"
+        assert rendered[3] == "1.23e+06"
+        assert rendered[4] == "0.0001"

@@ -33,18 +33,9 @@ from repro.service import (
     StreamService,
 )
 
-pytestmark = pytest.mark.chaos
+from .conftest import BACKEND_PARAMS as BACKEND_KWARGS
 
-BACKEND_KWARGS = {
-    "fixed_window": dict(window_size=64, num_buckets=8, epsilon=0.25),
-    "agglomerative": dict(num_buckets=8, epsilon=0.25),
-    "wavelet": dict(window_size=64, budget=8),
-    "dynamic_wavelet": dict(domain_size=128, budget=8),
-    "gk_quantiles": dict(epsilon=0.05),
-    "equi_depth": dict(num_buckets=8),
-    "reservoir": dict(capacity=32),
-    "exact": dict(window_size=64),
-}
+pytestmark = pytest.mark.chaos
 
 FAST_RESTARTS = RestartPolicy(
     max_restarts=3, backoff_initial=0.01, backoff_factor=2.0, backoff_max=0.05

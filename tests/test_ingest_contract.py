@@ -23,16 +23,7 @@ import pytest
 from repro.runtime import make_maintainer
 from repro.runtime.pipeline import StreamPipeline
 
-BACKEND_KWARGS = {
-    "fixed_window": dict(window_size=64, num_buckets=8, epsilon=0.25),
-    "agglomerative": dict(num_buckets=8, epsilon=0.25),
-    "wavelet": dict(window_size=64, budget=8),
-    "dynamic_wavelet": dict(domain_size=128, budget=8),
-    "gk_quantiles": dict(epsilon=0.05),
-    "equi_depth": dict(num_buckets=8),
-    "reservoir": dict(capacity=32),
-    "exact": dict(window_size=64),
-}
+from .conftest import BACKEND_PARAMS as BACKEND_KWARGS
 
 #: Integral, in-domain values every backend (incl. the frequency-vector
 #: dynamic wavelet) accepts.

@@ -21,22 +21,13 @@ from repro.runtime import (
     register_maintainer,
 )
 
+from .conftest import BACKEND_PARAMS as BACKEND_KWARGS
+
 
 def utilization(n, seed=0):
     rng = np.random.default_rng(seed)
     return rng.uniform(0.0, 100.0, n)
 
-
-BACKEND_KWARGS = {
-    "fixed_window": dict(window_size=64, num_buckets=8, epsilon=0.25),
-    "agglomerative": dict(num_buckets=8, epsilon=0.25),
-    "wavelet": dict(window_size=64, budget=8),
-    "dynamic_wavelet": dict(domain_size=128, budget=8),
-    "gk_quantiles": dict(epsilon=0.05),
-    "equi_depth": dict(num_buckets=8),
-    "reservoir": dict(capacity=32),
-    "exact": dict(window_size=64),
-}
 
 
 class TestRegistry:

@@ -25,16 +25,7 @@ from repro.service import (
     UnsupportedQueryError,
 )
 
-BACKEND_KWARGS = {
-    "fixed_window": dict(window_size=64, num_buckets=8, epsilon=0.25),
-    "agglomerative": dict(num_buckets=8, epsilon=0.25),
-    "wavelet": dict(window_size=64, budget=8),
-    "dynamic_wavelet": dict(domain_size=128, budget=8),
-    "gk_quantiles": dict(epsilon=0.05),
-    "equi_depth": dict(num_buckets=8),
-    "reservoir": dict(capacity=32),
-    "exact": dict(window_size=64),
-}
+from .conftest import BACKEND_PARAMS as BACKEND_KWARGS
 
 
 def integer_stream(n, seed=0):

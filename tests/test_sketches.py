@@ -5,9 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.sketches import GKQuantileSummary, ReservoirSample
+
+from .conftest import signed_int_lists
 
 
 class TestGKQuantileSummary:
@@ -80,7 +81,7 @@ class TestGKQuantileSummary:
         with pytest.raises(ValueError):
             summary.quantiles(0)
 
-    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=400))
+    @given(signed_int_lists)
     @settings(max_examples=30, deadline=None)
     def test_median_guarantee_property(self, points):
         epsilon = 0.1

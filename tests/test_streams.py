@@ -25,6 +25,8 @@ from repro.streams import (
     zipf_frequencies,
 )
 
+from .conftest import int_point_lists
+
 
 class TestArraySource:
     def test_replays_values(self):
@@ -92,10 +94,7 @@ class TestSlidingWindow:
         assert not window.is_full
         assert list(window.values()) == [7.0, 8.0]
 
-    @given(
-        st.integers(1, 10),
-        st.lists(st.integers(0, 100), min_size=1, max_size=80),
-    )
+    @given(st.integers(1, 10), int_point_lists)
     @settings(max_examples=50)
     def test_always_holds_last_k(self, capacity, points):
         window = SlidingWindow(capacity)
@@ -130,6 +129,20 @@ class TestSyntheticGenerators:
         first = take(generator(seed=1), 64)
         second = take(generator(seed=2), 64)
         assert not np.array_equal(first, second)
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_accepts_explicit_generator(self, generator):
+        """``seed`` may be a Generator, used as-is: a fresh Generator with
+        the same seed reproduces the stream, and driving two streams off
+        one shared Generator advances it (the streams interleave)."""
+        first = take(generator(seed=np.random.default_rng(9)), 64)
+        second = take(generator(seed=np.random.default_rng(9)), 64)
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, take(generator(seed=9), 64))
+        shared = np.random.default_rng(9)
+        take(generator(seed=shared), 16)
+        continued = take(generator(seed=shared), 64)
+        assert not np.array_equal(first, continued)
 
     @pytest.mark.parametrize(
         "generator",
