@@ -14,14 +14,25 @@ bounded queues while the per-stream workers drain them, for fleets of
 * recovery time: a supervised stream is crashed mid-ingest with a seeded
   :class:`FaultInjector` and the crash-observed-to-healthy wall time is
   measured over several trials (the fault-tolerance subsystem's latency
-  budget: backoff + snapshot load + replay).
+  budget: backoff + snapshot load + replay);
+* sharded scaling: the same 16-stream fleet pushed through a
+  :class:`~repro.shard.ShardRouter` at each shard count in
+  ``SHARD_COUNTS``, so the process tier's IPC overhead and scaling curve
+  are recorded next to the threaded numbers they must beat.
 
 Standalone:  ``PYTHONPATH=src python benchmarks/bench_service_throughput.py``
 writes ``BENCH_service.json`` in the current directory.
+
+Regression gate:  ``... bench_service_throughput.py --check`` re-runs the
+gated fleets (threaded 1 / 16 streams, sharded 16 streams at the largest
+shard count) and exits non-zero when any is more than
+``REGRESSION_TOLERANCE`` slower than the committed ``BENCH_service.json``.
+CI runs this as a non-blocking step and uploads both JSON files.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import statistics
@@ -29,9 +40,11 @@ import sys
 import tempfile
 import threading
 import time
+from pathlib import Path
 
 from repro.datasets import att_utilization_stream
 from repro.service import FaultInjector, RestartPolicy, StreamService
+from repro.shard import ShardRouter
 
 STREAM_COUNTS = (1, 4, 16)
 POINTS_PER_STREAM = 40_000
@@ -40,6 +53,16 @@ BACKEND = "gk_quantiles"
 PARAMS = {"epsilon": 0.05}
 MAINTAIN_EVERY = 64
 QUEUE_CAPACITY = 8_192
+
+#: Shard counts swept for the 16-stream sharded scaling rows.
+SHARD_COUNTS = (1, 2, 4)
+SHARDED_STREAMS = 16
+
+#: ``--check`` fails on a throughput drop beyond this fraction.
+REGRESSION_TOLERANCE = 0.15
+
+#: The committed baseline the regression gate compares against.
+DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / "BENCH_service.json"
 
 
 def run_fleet(num_streams: int) -> dict:
@@ -87,7 +110,79 @@ def run_fleet(num_streams: int) -> dict:
         }
 
 
-def stage_summary(service: StreamService) -> dict:
+def run_sharded_fleet(num_streams: int, num_shards: int) -> dict:
+    """The ``run_fleet`` workload through a ShardRouter process fleet.
+
+    Identical stream specs, chunking and producer-thread pattern; the
+    only variable is the tier, so the row is directly comparable to the
+    threaded result at the same stream count.  Enqueue percentiles are
+    the shard-internal worker numbers (time inside ``submit`` after the
+    frame crossed the socket), the same quantity the threaded rows
+    report.
+    """
+    stream = att_utilization_stream(POINTS_PER_STREAM, seed=7)
+    with ShardRouter(num_shards=num_shards) as service:
+        names = [f"s{i}" for i in range(num_streams)]
+        for name in names:
+            service.create_stream(
+                name,
+                backend=BACKEND,
+                params=PARAMS,
+                maintain_every=MAINTAIN_EVERY,
+                queue_capacity=QUEUE_CAPACITY,
+            )
+
+        def produce(name: str) -> None:
+            for start in range(0, POINTS_PER_STREAM, CHUNK):
+                service.ingest(name, stream[start : start + CHUNK])
+
+        producers = [
+            threading.Thread(target=produce, args=(name,)) for name in names
+        ]
+        started = time.perf_counter()
+        for producer in producers:
+            producer.start()
+        for producer in producers:
+            producer.join()
+        service.flush()
+        elapsed = time.perf_counter() - started
+
+        stats = [service.stats(name) for name in names]
+        total_points = sum(s["ingested_points"] for s in stats)
+        assert total_points == num_streams * POINTS_PER_STREAM
+        return {
+            "streams": num_streams,
+            "shards": num_shards,
+            "points_per_stream": POINTS_PER_STREAM,
+            "total_points": total_points,
+            "seconds": elapsed,
+            "points_per_second": total_points / elapsed,
+            "enqueue_p50_seconds": max(s["enqueue_p50_seconds"] for s in stats),
+            "enqueue_p99_seconds": max(s["enqueue_p99_seconds"] for s in stats),
+            "max_queue_depth": max(s["max_queue_depth"] for s in stats),
+            "stage_seconds": stage_summary(service),
+        }
+
+
+def run_sharded_suite() -> dict:
+    """16-stream sharded scaling rows, one per shard count."""
+    rows = []
+    for num_shards in SHARD_COUNTS:
+        row = run_sharded_fleet(SHARDED_STREAMS, num_shards)
+        rows.append(row)
+        print(
+            f"{row['streams']:>3} streams / {row['shards']} shard(s): "
+            f"{row['points_per_second']:>12,.0f} points/s, "
+            f"p99 enqueue {row['enqueue_p99_seconds'] * 1e6:8.1f} us"
+        )
+    return {
+        "streams": SHARDED_STREAMS,
+        "shard_counts": list(SHARD_COUNTS),
+        "results": rows,
+    }
+
+
+def stage_summary(service) -> dict:
     """Per-stage latency totals aggregated over the fleet's streams.
 
     The always-on tracer already recorded every ingest / maintain /
@@ -201,7 +296,21 @@ def run_recovery(trials: int = RECOVERY_TRIALS) -> dict:
     }
 
 
+def _previous_pps(baseline: dict) -> dict:
+    """``{(streams, shards-or-None): points_per_second}`` from a payload."""
+    previous: dict = {}
+    for row in baseline.get("results", []):
+        previous[(row["streams"], None)] = row["points_per_second"]
+    for row in baseline.get("sharded", {}).get("results", []):
+        previous[(row["streams"], row["shards"])] = row["points_per_second"]
+    return previous
+
+
 def main(output_path: str = "BENCH_service.json") -> dict:
+    previous = {}
+    if Path(output_path).exists():
+        with open(output_path) as handle:
+            previous = _previous_pps(json.load(handle))
     results = []
     for num_streams in STREAM_COUNTS:
         result = run_fleet(num_streams)
@@ -217,6 +326,7 @@ def main(output_path: str = "BENCH_service.json") -> dict:
                 f"total {entry['sum_seconds']:7.3f} s, "
                 f"p99 {entry['p99_seconds'] * 1e6:8.1f} us"
             )
+    sharded = run_sharded_suite()
     recovery = run_recovery()
     print(
         f"recovery (crash -> healthy): "
@@ -224,6 +334,26 @@ def main(output_path: str = "BENCH_service.json") -> dict:
         f"max {recovery['recovery_seconds_max'] * 1e3:.1f} ms "
         f"over {recovery['trials']} trials"
     )
+    threaded_16 = next(
+        r["points_per_second"] for r in results if r["streams"] == SHARDED_STREAMS
+    )
+    sharded_best = max(
+        r["points_per_second"] for r in sharded["results"]
+    )
+    comparison = {
+        "threaded_16_stream_pps": threaded_16,
+        "sharded_16_stream_best_pps": sharded_best,
+        "sharded_over_threaded": sharded_best / threaded_16,
+    }
+    prev_16 = previous.get((SHARDED_STREAMS, None))
+    if prev_16:
+        comparison["previous_committed_16_stream_pps"] = prev_16
+        comparison["sharded_over_previous_committed"] = sharded_best / prev_16
+        print(
+            f"sharded best {sharded_best:,.0f} points/s = "
+            f"{sharded_best / prev_16:.2f}x the previously committed "
+            f"16-stream baseline ({prev_16:,.0f})"
+        )
     payload = {
         "benchmark": "service_throughput",
         "backend": BACKEND,
@@ -234,6 +364,8 @@ def main(output_path: str = "BENCH_service.json") -> dict:
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "results": results,
+        "sharded": sharded,
+        "comparison": comparison,
         "recovery": recovery,
     }
     with open(output_path, "w") as handle:
@@ -243,5 +375,104 @@ def main(output_path: str = "BENCH_service.json") -> dict:
     return payload
 
 
+def check(baseline_path: str, output_path: str) -> int:
+    """Re-run the gated fleets; non-zero on a >tolerance regression.
+
+    Gated rows: threaded at 1 stream (single-stream latency path),
+    threaded at 16 streams (aggregate), and -- once the committed
+    baseline carries sharded rows -- the 16-stream sharded fleet at the
+    largest shard count.  A fresh payload is always written to
+    ``output_path`` so CI can upload the committed and fresh JSON side
+    by side.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    previous = _previous_pps(baseline)
+    fresh_rows = [run_fleet(1), run_fleet(SHARDED_STREAMS)]
+    gate_shards = max(SHARD_COUNTS)
+    if (SHARDED_STREAMS, gate_shards) in previous:
+        fresh_rows.append(run_sharded_fleet(SHARDED_STREAMS, gate_shards))
+    failures = []
+    checks = []
+    for row in fresh_rows:
+        key = (row["streams"], row.get("shards"))
+        base_pps = previous.get(key)
+        label = f"{key[0]} streams" + (
+            f" / {key[1]} shards" if key[1] else " (threaded)"
+        )
+        if base_pps is None:
+            print(f"{label}: no committed baseline row, skipped")
+            continue
+        fresh_pps = row["points_per_second"]
+        drop = (base_pps - fresh_pps) / base_pps
+        verdict = "ok" if drop <= REGRESSION_TOLERANCE else "REGRESSION"
+        checks.append(
+            {
+                "streams": key[0],
+                "shards": key[1],
+                "baseline_pps": base_pps,
+                "fresh_pps": fresh_pps,
+                "drop_fraction": drop,
+                "verdict": verdict,
+            }
+        )
+        print(
+            f"{label}: {fresh_pps:>12,.0f} points/s vs committed "
+            f"{base_pps:,.0f} ({-drop:+.1%}) -> {verdict}"
+        )
+        if verdict != "ok":
+            failures.append(label)
+    payload = {
+        "benchmark": "service_throughput_check",
+        "baseline": str(baseline_path),
+        "tolerance": REGRESSION_TOLERANCE,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "checks": checks,
+        "passed": not failures,
+    }
+    with open(output_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output_path}")
+    if failures:
+        print(f"FAILED: throughput regression in {', '.join(failures)}")
+        return 1
+    print("all gated fleets within tolerance")
+    return 0
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="Service ingestion throughput benchmark and "
+        "regression gate."
+    )
+    parser.add_argument(
+        "output",
+        nargs="?",
+        default=None,
+        help="result JSON path (default: BENCH_service.json, or "
+        "BENCH_service_check.json with --check)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare the gated fleets against the committed baseline "
+        "and exit non-zero on a regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline for --check "
+        "(default: the repo's BENCH_service.json)",
+    )
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_service.json")
+    args = _parse_args(sys.argv[1:])
+    if args.check:
+        raise SystemExit(
+            check(args.baseline, args.output or "BENCH_service_check.json")
+        )
+    main(args.output or "BENCH_service.json")

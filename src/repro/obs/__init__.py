@@ -15,6 +15,8 @@ its workers, supervisor and snapshot store; see ``docs/API.md``
 from .accuracy import AccuracyMonitor, AccuracyReport
 from .export import (
     parse_prometheus_text,
+    samples_to_jsonl,
+    samples_to_prometheus_text,
     to_jsonl,
     to_prometheus_text,
     write_jsonl,
@@ -33,6 +35,8 @@ __all__ = [
     "SpanRecord",
     "Tracer",
     "parse_prometheus_text",
+    "samples_to_jsonl",
+    "samples_to_prometheus_text",
     "to_jsonl",
     "to_prometheus_text",
     "write_jsonl",

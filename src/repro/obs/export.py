@@ -24,6 +24,8 @@ from .metrics import MetricsRegistry
 
 __all__ = [
     "parse_prometheus_text",
+    "samples_to_jsonl",
+    "samples_to_prometheus_text",
     "to_jsonl",
     "to_prometheus_text",
     "write_jsonl",
@@ -55,11 +57,18 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def to_prometheus_text(registry: MetricsRegistry) -> str:
-    """Render every registry instrument in Prometheus text format."""
+def samples_to_prometheus_text(samples) -> str:
+    """Render collected dict samples in Prometheus text format.
+
+    Operating on samples rather than a registry is what lets the shard
+    router merge registries that live in *other processes*: each shard
+    serializes ``registry.collect()`` over its control channel and the
+    router renders the concatenation (with a ``shard`` label added) as
+    one exposition document.
+    """
     lines: list[str] = []
     typed: set[str] = set()
-    for sample in registry.collect():
+    for sample in samples:
         name, kind, labels = sample["name"], sample["kind"], sample["labels"]
         prom_type = "summary" if kind == "histogram" else kind
         if name not in typed:
@@ -84,6 +93,11 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
                 f"{_format_value(sample['value'])}"
             )
     return "\n".join(lines) + "\n"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every registry instrument in Prometheus text format."""
+    return samples_to_prometheus_text(registry.collect())
 
 
 _METRIC_LINE = re.compile(
@@ -127,14 +141,19 @@ def parse_prometheus_text(text: str) -> list[dict]:
     return samples
 
 
-def to_jsonl(registry: MetricsRegistry) -> str:
-    """One JSON object per sample per line, stamped with the export time."""
+def samples_to_jsonl(samples) -> str:
+    """Collected dict samples as JSON lines, stamped with the export time."""
     stamp = time.time()
     lines = [
         json.dumps({"exported_at": stamp, **sample}, sort_keys=True)
-        for sample in registry.collect()
+        for sample in samples
     ]
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per sample per line, stamped with the export time."""
+    return samples_to_jsonl(registry.collect())
 
 
 def write_jsonl(registry: MetricsRegistry, path) -> Path:

@@ -24,6 +24,7 @@ from .queries import (
     view_quantile,
     view_range_sum,
 )
+from .protocol import ServiceProtocol
 from .service import StreamService, StreamSpec, UnknownStreamError
 from .snapshot import SnapshotCorruptError, SnapshotStore
 from .stream_worker import (
@@ -42,6 +43,7 @@ __all__ = [
     "InjectedFault",
     "MaterializedView",
     "RestartPolicy",
+    "ServiceProtocol",
     "SnapshotCorruptError",
     "SnapshotStore",
     "StreamFailedError",

@@ -1,0 +1,127 @@
+"""The transport-agnostic service surface shared by every backend tier.
+
+:class:`ServiceProtocol` names the contract a synopsis-serving backend
+must satisfy: stream lifecycle (``create_stream`` / ``drop_stream`` /
+``streams`` / ``spec``), backpressured ingestion (``ingest`` /
+``flush``), snapshot-isolated queries (``range_sum`` / ``quantile`` /
+``histogram`` / ``stats``), health and observability (``health`` /
+``metrics`` / ``prometheus_metrics`` / ``export_metrics_jsonl`` /
+``accuracy``), certification (``certify``), and durability
+(``checkpoint`` / ``close``).
+
+Two implementations exist:
+
+* :class:`~repro.service.service.StreamService` -- the in-process,
+  thread-per-stream engine (the *shard core*);
+* :class:`~repro.shard.router.ShardRouter` -- the multi-process tier
+  that consistent-hashes streams onto N shard processes, each of which
+  runs a ``StreamService`` internally.
+
+The protocol is ``runtime_checkable`` so callers (and the test suite)
+can assert ``isinstance(backend, ServiceProtocol)`` structurally; it
+deliberately excludes in-process-only affordances such as ``view()`` /
+``synopsis()`` (which hand out live objects that cannot cross a process
+boundary) -- code written against the protocol works unchanged over
+either tier.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["ServiceProtocol"]
+
+
+@runtime_checkable
+class ServiceProtocol(Protocol):
+    """Structural contract of a multi-stream synopsis service."""
+
+    # -- stream lifecycle ----------------------------------------------
+
+    def create_stream(
+        self,
+        name: str,
+        backend: str | None = None,
+        params: dict | None = None,
+        *,
+        spec=None,
+        **options,
+    ):
+        """Register and start a stream from a spec or backend/params."""
+        ...
+
+    def drop_stream(self, name: str, drain: bool = True) -> None:
+        """Stop and forget a stream (snapshots stay on disk)."""
+        ...
+
+    def streams(self) -> list[str]:
+        """Hosted stream names, sorted."""
+        ...
+
+    def spec(self, name: str):
+        """The :class:`StreamSpec` a stream was created with."""
+        ...
+
+    # -- ingestion ------------------------------------------------------
+
+    def ingest(self, name: str, values) -> int:
+        """Enqueue points for a stream; returns the accepted count."""
+        ...
+
+    def flush(self, name: str | None = None, timeout: float | None = None) -> bool:
+        """Wait until queued points are ingested (one stream or all)."""
+        ...
+
+    # -- queries --------------------------------------------------------
+
+    def range_sum(self, name: str, start: int, end: int) -> float:
+        """Estimated sum over window positions ``[start, end]``."""
+        ...
+
+    def quantile(self, name: str, fraction: float) -> float:
+        """Approximate ``fraction``-quantile of the summarized values."""
+        ...
+
+    def histogram(self, name: str) -> dict:
+        """JSON-friendly rendering of the stream's synopsis."""
+        ...
+
+    def stats(self, name: str | None = None) -> dict:
+        """Ingest/maintenance/queue telemetry (one stream or all)."""
+        ...
+
+    # -- health and observability --------------------------------------
+
+    def health(self, name: str | None = None) -> dict:
+        """Health report (one stream, or all streams keyed by name)."""
+        ...
+
+    def metrics(self, name: str | None = None) -> list[dict]:
+        """Metric samples (whole service, or one stream's)."""
+        ...
+
+    def prometheus_metrics(self) -> str:
+        """Every metric in Prometheus text exposition format."""
+        ...
+
+    def export_metrics_jsonl(self, path):
+        """Append every current sample to ``path`` as JSON lines."""
+        ...
+
+    def accuracy(self, name: str) -> dict | None:
+        """Accuracy-monitor summary (None when not configured)."""
+        ...
+
+    # -- certification and durability ----------------------------------
+
+    def certify(self, name: str, **kwargs) -> dict:
+        """Differential certification report; ``report['passed']``."""
+        ...
+
+    def checkpoint(self, name: str | None = None) -> list[str]:
+        """Write durable snapshots; returns the written paths."""
+        ...
+
+    def close(self, checkpoint: bool | None = None) -> None:
+        """Drain and stop (idempotent)."""
+        ...

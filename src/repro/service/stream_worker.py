@@ -8,6 +8,15 @@ thread drains batches in arrival order, then materializes an immutable
 :class:`~repro.service.queries.MaterializedView` that queries read
 without ever touching the maintainer.
 
+The queue hand-off is whole-batch on both sides: ``submit`` enqueues one
+queue item per batch (the bounded capacity and every backpressure policy
+count whole batches by their point count), and the worker takes the
+*entire* backlog in a single lock acquisition per drain cycle, feeding
+batch after batch under one state-lock hold and materializing the view
+once at the end of the cycle.  Points are never serialized individually
+through the queue, so a producer burst of k chunks costs one worker
+wakeup and one view refresh instead of k.
+
 Backpressure when the queue is full is configurable:
 
 * ``"block"`` -- the producer waits for space (lossless, the default);
@@ -310,7 +319,12 @@ class StreamWorker:
         )
         self._queue: deque[np.ndarray] = deque()
         self._queued_points = 0
-        self._in_flight: np.ndarray | None = None
+        # Whole batches dequeued but not yet fully applied, oldest first.
+        # The worker takes the *entire* queue in one lock acquisition per
+        # drain cycle (whole batches, never individual points), so a
+        # producer-side burst costs one wakeup and one materialize
+        # instead of one per chunk.
+        self._in_flight: list[np.ndarray] | None = None
         self._fatal_leftover: np.ndarray | None = None
         self._cv = threading.Condition()
         # Held by the worker around each pipeline feed and by checkpoint
@@ -378,7 +392,7 @@ class StreamWorker:
 
     @property
     def in_flight(self) -> bool:
-        """True while a dequeued batch is still being ingested."""
+        """True while dequeued batches are still being ingested."""
         with self._cv:
             return self._in_flight is not None
 
@@ -511,14 +525,22 @@ class StreamWorker:
                 self._cv.wait_for(lambda: self._queue or self._stop_requested)
                 if not self._queue:
                     break
-                batch = self._queue.popleft()
-                self._queued_points -= batch.size
-                self._in_flight = batch
+                # Take the whole backlog in one go: every queue item is a
+                # whole submitted batch, and the cycle below pays one
+                # state-lock acquisition and one materialize for all of
+                # them instead of one per batch.
+                batches = list(self._queue)
+                self._queue.clear()
+                self._queued_points = 0
+                self._in_flight = batches
                 self._cv.notify_all()
             try:
                 with self._state_lock:
-                    ingested = self._feed(batch)
-                    self.counters.record_drained(ingested)
+                    while batches:
+                        batch = batches[0]
+                        ingested = self._feed(batch)
+                        self.counters.record_drained(ingested)
+                        del batches[0]
                     self._materialize()
                     with self._cv:
                         self._in_flight = None
@@ -527,9 +549,14 @@ class StreamWorker:
                 leftover = self._fatal_leftover
                 self._fatal_leftover = None
                 with self._cv:
+                    # The un-applied remainder of the failing batch plus
+                    # every not-yet-fed batch of this cycle go back to the
+                    # queue front (in order) so a supervisor restart loses
+                    # nothing.
+                    for pending in reversed(batches[1:]):
+                        self._queue.appendleft(pending)
+                        self._queued_points += int(pending.size)
                     if leftover is not None and leftover.size:
-                        # The un-applied remainder goes back to the queue
-                        # front so a supervisor restart loses nothing.
                         self._queue.appendleft(np.asarray(leftover))
                         self._queued_points += int(leftover.size)
                     self._error = error
@@ -708,9 +735,13 @@ class StreamWorker:
                 self._raise_if_failed()
                 tail = [batch.tolist() for batch in self._queue]
                 if self._in_flight is not None:
-                    # Cannot happen while we hold the state lock, but be
-                    # explicit: an in-flight batch belongs to the tail.
-                    tail.insert(0, self._in_flight.tolist())
+                    # The worker only applies in-flight batches while
+                    # holding the state lock, so any batches it already
+                    # popped are still entirely un-applied here: they
+                    # belong to the tail, ahead of the queued ones.
+                    tail = [
+                        batch.tolist() for batch in self._in_flight
+                    ] + tail
                 return (
                     self.maintainer.state_dict(),
                     self._pipeline.arrivals,

@@ -1,0 +1,34 @@
+"""repro.shard -- the multi-process tier of the synopsis service.
+
+A :class:`ShardRouter` consistent-hashes stream names
+(:class:`HashRing`) onto N forked :class:`ShardHost` processes, each
+running a supervised in-process
+:class:`~repro.service.service.StreamService` as its shard core.
+Ingest batches cross the process boundary as length-prefixed binary
+frames (:mod:`repro.shard.framing`); queries, health, merged metrics,
+checkpoint/restore orchestration and certification travel as JSON
+control verbs.  Shard-process crashes are healed with the same
+snapshot-plus-replay machinery the threaded tier uses per worker,
+applied at shard granularity -- recovery is bit-identical for
+deterministic synopses.
+
+Both tiers satisfy :class:`~repro.service.protocol.ServiceProtocol`;
+see ``docs/API.md`` ("Sharded service") and the README sharded
+quickstart.
+"""
+
+from .framing import Frame, FramingError
+from .host import ShardHost, shard_main
+from .placement import HashRing
+from .router import ShardDownError, ShardRemoteError, ShardRouter
+
+__all__ = [
+    "Frame",
+    "FramingError",
+    "HashRing",
+    "ShardDownError",
+    "ShardHost",
+    "ShardRemoteError",
+    "ShardRouter",
+    "shard_main",
+]

@@ -1,0 +1,147 @@
+"""Length-prefixed binary framing for the router <-> shard channels.
+
+One frame is a fixed 19-byte header followed by the stream name and the
+payload::
+
+    !4sBQHI  =  magic b"RSH1" | kind u8 | seq u64 | name_len u16 | payload_len u32
+
+* **DATA** frames carry one ingest batch: the payload is the raw
+  little-endian-free ``float64`` buffer of the batch
+  (:func:`encode_batch` / :func:`decode_batch`), so a 512-point chunk
+  crosses the process boundary as one 4 KiB ``sendall`` instead of 512
+  pickled floats.  ``seq`` is the shard-scoped frame sequence number the
+  barrier protocol and crash replay are built on.
+* **CONTROL** frames carry a verb in the name field and JSON keyword
+  arguments in the payload (:func:`encode_obj` / :func:`decode_obj`).
+* **REPLY** frames answer one control frame, echoing its ``seq``.
+
+Framing errors (bad magic, unknown kind, oversized fields, a peer that
+died mid-frame) raise :class:`FramingError`; a clean EOF at a frame
+boundary returns ``None`` from :func:`recv_frame` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Frame",
+    "FramingError",
+    "KIND_CONTROL",
+    "KIND_DATA",
+    "KIND_REPLY",
+    "decode_batch",
+    "decode_obj",
+    "encode_batch",
+    "encode_obj",
+    "recv_frame",
+    "send_frame",
+]
+
+MAGIC = b"RSH1"
+HEADER = struct.Struct("!4sBQHI")
+
+KIND_DATA = 1
+KIND_CONTROL = 2
+KIND_REPLY = 3
+_KINDS = frozenset((KIND_DATA, KIND_CONTROL, KIND_REPLY))
+
+#: Stream names are filenames too; 64 KiB of name is already absurd.
+MAX_NAME = 0xFFFF
+#: One frame carries one batch or one JSON document, never unbounded.
+MAX_PAYLOAD = 1 << 30
+
+
+class FramingError(RuntimeError):
+    """The channel produced bytes that are not a well-formed frame."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame."""
+
+    kind: int
+    seq: int
+    name: str
+    payload: bytes
+
+
+def encode_batch(batch) -> bytes:
+    """An ingest batch as its raw contiguous ``float64`` buffer."""
+    array = np.ascontiguousarray(np.asarray(batch, dtype=np.float64))
+    return array.tobytes()
+
+
+def decode_batch(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_batch` (zero-copy view over the bytes)."""
+    if len(payload) % 8:
+        raise FramingError(
+            f"batch payload of {len(payload)} bytes is not a float64 buffer"
+        )
+    return np.frombuffer(payload, dtype=np.float64)
+
+
+def encode_obj(obj) -> bytes:
+    """JSON-encode a control verb's arguments or reply."""
+    return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+
+def decode_obj(payload: bytes):
+    """Inverse of :func:`encode_obj`."""
+    if not payload:
+        return None
+    return json.loads(payload.decode("utf-8"))
+
+
+def send_frame(sock, kind: int, seq: int, name: str, payload: bytes) -> None:
+    """Write one frame; a single ``sendall`` keeps frames atomic-ish.
+
+    Raises ``OSError`` when the peer is gone -- callers treat that as a
+    shard (or router) death signal, not a framing problem.
+    """
+    name_bytes = name.encode("utf-8")
+    if len(name_bytes) > MAX_NAME:
+        raise FramingError(f"frame name too long ({len(name_bytes)} bytes)")
+    if len(payload) > MAX_PAYLOAD:
+        raise FramingError(f"frame payload too large ({len(payload)} bytes)")
+    header = HEADER.pack(MAGIC, kind, seq, len(name_bytes), len(payload))
+    sock.sendall(b"".join((header, name_bytes, payload)))
+
+
+def _recv_exact(sock, count: int, *, at_boundary: bool) -> bytes | None:
+    """Exactly ``count`` bytes, or None on a clean EOF at a boundary."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if at_boundary and remaining == count:
+                return None
+            raise FramingError(
+                f"peer closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> Frame | None:
+    """Read one frame; ``None`` on clean EOF (peer closed the channel)."""
+    header = _recv_exact(sock, HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    magic, kind, seq, name_len, payload_len = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FramingError(f"bad frame magic {magic!r}")
+    if kind not in _KINDS:
+        raise FramingError(f"unknown frame kind {kind}")
+    if payload_len > MAX_PAYLOAD:
+        raise FramingError(f"frame payload too large ({payload_len} bytes)")
+    body = _recv_exact(sock, name_len + payload_len, at_boundary=False) \
+        if name_len + payload_len else b""
+    name = body[:name_len].decode("utf-8")
+    return Frame(kind=kind, seq=seq, name=name, payload=body[name_len:])

@@ -1,0 +1,306 @@
+"""The shard host: one process, one in-process StreamService.
+
+:class:`ShardHost` is the child-process side of the sharded service;
+:func:`shard_main` is the entry point the router forks for every shard.
+A shard owns two channels back to the router:
+
+* the **data channel** -- a dedicated thread applies framed ingest
+  batches (:data:`~repro.shard.framing.KIND_DATA`) to the internal
+  :class:`~repro.service.service.StreamService` in frame order and
+  advances an *applied-sequence watermark* after each one.  The
+  watermark is what the router's flush/checkpoint barriers wait on:
+  "everything up to seq S has been handed to the workers".  An
+  empty-name DATA frame is a pure watermark sync (sent after crash
+  replay so barriers against pre-crash sequence numbers resolve).
+* the **control channel** -- the main thread answers one JSON verb at a
+  time (create/drop/query/health/metrics/checkpoint/...), each reply
+  echoing the request's sequence number.
+
+Backpressure crosses the process boundary through the OS socket buffer:
+when the internal queues block the data thread, the router's ``sendall``
+eventually blocks too, which is exactly the ``block`` policy producers
+expect.  ``reject`` / ``drop_oldest`` streams never surface exceptions
+across the boundary -- refusals happen inside the shard and are visible
+through the same worker counters as in the threaded service.
+
+The internal service runs supervised by default, so worker-thread
+deaths inside a shard heal locally; whole-process deaths are the
+router's job (respawn + restore + replay, see
+:mod:`repro.shard.router`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict
+
+from ..service.service import StreamService, StreamSpec, UnknownStreamError
+from ..service.stream_worker import BackpressureError, WorkerFailedError
+from ..service.supervisor import RestartPolicy, StreamFailedError
+from .framing import (
+    KIND_DATA,
+    KIND_REPLY,
+    FramingError,
+    decode_batch,
+    decode_obj,
+    encode_obj,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["ShardHost", "shard_main"]
+
+#: How long a shard-side barrier waits for the data thread to catch up
+#: before the verb fails (the router's request timeout is longer).
+BARRIER_TIMEOUT = 60.0
+
+#: Ingest failures that are stream-local telemetry, not shard faults.
+_REFUSALS = (
+    UnknownStreamError,
+    BackpressureError,
+    StreamFailedError,
+    WorkerFailedError,
+    ValueError,
+    RuntimeError,
+)
+
+
+class _Watermark:
+    """Monotone applied-sequence counter the barrier verbs wait on."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._applied = 0
+        self._closed = False
+
+    def advance(self, seq: int) -> None:
+        with self._cond:
+            if seq > self._applied:
+                self._applied = seq
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def applied(self) -> int:
+        with self._cond:
+            return self._applied
+
+    def wait(self, seq: int, timeout: float = BARRIER_TIMEOUT) -> bool:
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._applied >= seq or self._closed, timeout=timeout
+            ) and self._applied >= seq
+
+
+def _build_service(options: dict) -> StreamService:
+    policy = options.get("restart_policy")
+    kwargs = dict(
+        supervise=bool(options.get("supervise", True)),
+        snapshot_keep=int(options.get("snapshot_keep", 2)),
+    )
+    if policy is not None and kwargs["supervise"]:
+        kwargs["restart_policy"] = RestartPolicy(**policy)
+    snapshot_dir = options.get("snapshot_dir")
+    if snapshot_dir and options.get("restore"):
+        return StreamService.restore(snapshot_dir, **kwargs)
+    return StreamService(snapshot_dir=snapshot_dir, **kwargs)
+
+
+class ShardHost:
+    """One shard process: an internal StreamService behind two channels."""
+
+    def __init__(self, shard_id: int, data_sock, ctrl_sock, options: dict) -> None:
+        self.shard_id = int(shard_id)
+        self.service = _build_service(options)
+        self._data_sock = data_sock
+        self._ctrl_sock = ctrl_sock
+        self._watermark = _Watermark()
+        self._stop_event = threading.Event()
+        self._close_checkpoint: bool | None = None
+
+    # -- data plane -----------------------------------------------------
+
+    def _drain_data(self) -> None:
+        """Apply DATA frames in order; advance the watermark after each."""
+        refused = self.service.registry.counter(
+            "repro_shard_refused_batches_total"
+        )
+        try:
+            while True:
+                frame = recv_frame(self._data_sock)
+                if frame is None:
+                    break
+                if frame.kind != KIND_DATA:
+                    continue
+                if frame.name:
+                    try:
+                        self.service.ingest(
+                            frame.name, decode_batch(frame.payload)
+                        )
+                    except _REFUSALS:
+                        # Refusals are shard-local telemetry, never
+                        # channel errors: the frame still advances the
+                        # watermark so barriers cannot hang on it.
+                        refused.inc()
+                self._watermark.advance(frame.seq)
+        except (FramingError, OSError):
+            pass  # router gone; the control loop shuts the shard down
+        finally:
+            self._watermark.close()
+            self._stop_event.set()
+
+    # -- control plane --------------------------------------------------
+
+    def _barrier(self, args: dict) -> None:
+        upto = int(args.get("upto_seq", 0))
+        if upto and not self._watermark.wait(upto):
+            raise TimeoutError(
+                f"shard {self.shard_id} barrier at seq {upto} timed out "
+                f"(applied {self._watermark.applied})"
+            )
+
+    def _stream_arrivals(self) -> dict[str, int]:
+        return {
+            name: int(self.service.stats(name)["arrivals"])
+            for name in self.service.streams()
+        }
+
+    def dispatch(self, verb: str, args: dict):
+        """Answer one control verb against the internal service."""
+        service = self.service
+        if verb == "ping":
+            return {
+                "shard": self.shard_id,
+                "applied_seq": self._watermark.applied,
+            }
+        if verb == "restore_report":
+            # A restored service resubmits each snapshot's buffered tail
+            # through the normal queues; drain first so the reported
+            # arrival counts are the stable post-restore totals the
+            # router compares against its checkpoint bookkeeping.
+            service.flush()
+            return {
+                "streams": service.streams(),
+                "arrivals": self._stream_arrivals(),
+            }
+        if verb == "create_stream":
+            service.create_stream(
+                args["name"], spec=StreamSpec.from_dict(args["spec"])
+            )
+            return None
+        if verb == "drop_stream":
+            service.drop_stream(args["name"], drain=args.get("drain", True))
+            return None
+        if verb == "streams":
+            return service.streams()
+        if verb == "spec":
+            return service.spec(args["name"]).to_dict()
+        if verb == "flush":
+            # Unlike checkpoint, an unfinished flush is a False return
+            # (threaded flush(timeout) semantics), not an error.
+            upto = int(args.get("upto_seq", 0))
+            timeout = args.get("timeout")
+            wait = (
+                BARRIER_TIMEOUT
+                if timeout is None
+                else min(float(timeout), BARRIER_TIMEOUT)
+            )
+            if upto and not self._watermark.wait(upto, wait):
+                return False
+            return service.flush(args.get("name"), timeout=timeout)
+        if verb == "health":
+            return service.health(args.get("name"))
+        if verb == "stats":
+            return service.stats(args.get("name"))
+        if verb == "range_sum":
+            return service.range_sum(
+                args["name"], int(args["start"]), int(args["end"])
+            )
+        if verb == "quantile":
+            return service.quantile(args["name"], float(args["fraction"]))
+        if verb == "histogram":
+            return service.histogram(args["name"])
+        if verb == "accuracy":
+            return service.accuracy(args["name"])
+        if verb == "dead_letters":
+            return [
+                asdict(record) for record in service.dead_letters(args["name"])
+            ]
+        if verb == "retry_dead_letters":
+            return service.retry_dead_letters(args["name"])
+        if verb == "metrics":
+            return service.registry.collect()
+        if verb == "spans":
+            return [
+                asdict(span)
+                for span in service.spans(args.get("stage"), args.get("name"))
+            ]
+        if verb == "certify":
+            return service.certify(args.pop("name"), **args)
+        if verb == "checkpoint":
+            self._barrier(args)
+            return {
+                "paths": service.checkpoint(args.get("name")),
+                "applied_seq": self._watermark.applied,
+                "arrivals": self._stream_arrivals(),
+            }
+        raise ValueError(f"unknown shard verb {verb!r}")
+
+    def run(self) -> None:
+        """Serve both channels until the router says stop (or dies)."""
+        data_thread = threading.Thread(
+            target=self._drain_data,
+            name=f"shard-{self.shard_id}-data",
+            daemon=True,
+        )
+        data_thread.start()
+        try:
+            while not self._stop_event.is_set():
+                frame = recv_frame(self._ctrl_sock)
+                if frame is None:
+                    break
+                verb = frame.name
+                args = decode_obj(frame.payload) or {}
+                stopping = verb == "stop"
+                if stopping:
+                    self._barrier({"upto_seq": args.get("upto_seq", 0)})
+                    self._close_checkpoint = args.get("checkpoint")
+                    reply = {"ok": True, "value": None}
+                else:
+                    try:
+                        reply = {"ok": True, "value": self.dispatch(verb, args)}
+                    except Exception as error:  # propagated to the router
+                        reply = {
+                            "ok": False,
+                            "error": str(error) or repr(error),
+                            "error_type": type(error).__name__,
+                        }
+                try:
+                    send_frame(
+                        self._ctrl_sock, KIND_REPLY, frame.seq, verb,
+                        encode_obj(reply),
+                    )
+                except OSError:
+                    break
+                if stopping:
+                    break
+        except (FramingError, OSError):
+            pass
+        finally:
+            try:
+                self.service.close(checkpoint=self._close_checkpoint)
+            finally:
+                for sock in (self._data_sock, self._ctrl_sock):
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+
+
+def shard_main(shard_id: int, data_sock, ctrl_sock, options: dict) -> None:
+    """Child-process entry point: run one shard to completion."""
+    ShardHost(shard_id, data_sock, ctrl_sock, options).run()

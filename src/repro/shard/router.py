@@ -1,0 +1,1069 @@
+"""The shard router: consistent-hash fan-out over N shard processes.
+
+:class:`ShardRouter` is the multi-process tier of the service: it
+satisfies the same :class:`~repro.service.protocol.ServiceProtocol` as
+the threaded :class:`~repro.service.service.StreamService`, but hosts
+every stream inside one of N forked **shard processes** (each running a
+supervised ``StreamService`` of its own, see :mod:`repro.shard.host`).
+Placement is a deterministic consistent-hash ring
+(:class:`~repro.shard.placement.HashRing`) over stream names, so a
+restored router routes every stream back to the shard that owns its
+snapshots.
+
+Ingest crosses the process boundary as length-prefixed binary frames
+(one frame per batch, :mod:`repro.shard.framing`); queries, health,
+metrics, checkpoints and certification travel as JSON control verbs
+with per-request sequence numbers.  Observability is merged: shard
+registries are serialized over the control channel and re-labeled with
+``shard="<id>"`` (router-local metrics carry ``shard="router"``), so
+``prometheus_metrics()`` is one exposition document for the whole
+fleet.
+
+**Shard failure** reuses the snapshot/restart machinery at shard
+granularity.  The router retains every data frame since the oldest
+retained checkpoint generation; when a shard process dies the monitor
+thread respawns it after the :class:`~repro.service.supervisor.
+RestartPolicy` backoff, restores it from its own SnapshotStore
+directory, reconciles the stream set, and replays the retained frames
+newer than the last checkpoint -- deterministic synopses plus identical
+replay make the recovered shard bit-identical to one that never
+crashed.  A shard that exhausts its restart budget is ``failed``;
+producers get :class:`~repro.service.supervisor.StreamFailedError`.
+
+Two deliberate semantic differences from the threaded tier:
+
+* ``reject`` / ``drop_oldest`` backpressure refusals happen inside the
+  shard and surface as worker counters, not producer exceptions (only
+  ``block`` propagates, through the OS socket buffer).
+* ``checkpoint(name)`` checkpoints the whole owning shard (every
+  stream it hosts): replay retention is per shard, so its durable
+  watermark must advance as one unit.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+import threading
+from collections import deque
+from dataclasses import replace
+from pathlib import Path
+
+from ..core.prefix import as_stream_batch
+from ..obs.export import samples_to_jsonl, samples_to_prometheus_text
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import SpanRecord
+from ..service.queries import UnsupportedQueryError
+from ..service.service import StreamSpec, UnknownStreamError, _valid_stream_name
+from ..service.supervisor import RestartPolicy, StreamFailedError
+from .framing import (
+    KIND_CONTROL,
+    KIND_DATA,
+    KIND_REPLY,
+    FramingError,
+    decode_obj,
+    encode_obj,
+    recv_frame,
+    send_frame,
+)
+from .host import shard_main
+from .placement import DEFAULT_VIRTUAL_NODES, HashRing
+
+__all__ = ["ShardDownError", "ShardRemoteError", "ShardRouter"]
+
+#: Router manifest filename inside the snapshot directory.
+MANIFEST_NAME = "router.json"
+
+#: Exceptions a shard raises that map back to local types at the router.
+_REMOTE_ERRORS: dict[str, type[Exception]] = {
+    "UnknownStreamError": UnknownStreamError,
+    "UnsupportedQueryError": UnsupportedQueryError,
+    "StreamFailedError": StreamFailedError,
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "TimeoutError": TimeoutError,
+    "RuntimeError": RuntimeError,
+}
+
+
+class ShardDownError(RuntimeError):
+    """The owning shard is down and did not recover within the wait."""
+
+
+class ShardRemoteError(RuntimeError):
+    """A shard-side verb failed with a type the router does not map."""
+
+
+class _ShardHandle:
+    """Router-side state of one shard process."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.process = None
+        self.data_sock = None
+        self.ctrl_sock = None
+        # send_lock orders data frames and guards the replay buffer;
+        # ctrl_lock serializes request/reply pairs on the control channel.
+        self.send_lock = threading.Lock()
+        self.ctrl_lock = threading.Lock()
+        self.next_seq = 1
+        self.ctrl_seq = 0
+        # Frames since the oldest retained checkpoint generation:
+        # (seq, stream, per-stream submitted-point offset, payload).
+        self.replay: deque[tuple[int, str, int, bytes]] = deque()
+        self.checkpoint_seqs: deque[int] = deque(maxlen=2)
+        self.arrivals_at_checkpoint: dict[str, int] = {}
+        self.points_since_checkpoint = 0
+        self.checkpoint_cadence: int | None = None
+        self.checkpoint_pending = False
+        self.state = "down"  # up / dead / recovering / failed / closed
+        self.restarts = 0
+        self.last_error: str | None = None
+        self.lossy = False
+
+
+class ShardRouter:
+    """Multi-process synopsis service: router + N shard processes.
+
+    Parameters
+    ----------
+    num_shards:
+        Shard process count (the consistent-hash ring size).
+    snapshot_dir:
+        Base directory for durability; each shard gets its own
+        ``shard-<id>/`` SnapshotStore underneath, the router writes a
+        ``router.json`` manifest (specs + ring geometry) beside them.
+        Without it, checkpointing is unavailable and crash recovery
+        replays the full retained frame log from an empty shard.
+    virtual_nodes:
+        Ring points per shard (placement granularity).
+    restart_policy:
+        Shard-process respawn budget/backoff (defaults to
+        :class:`RestartPolicy`'s defaults, same as worker supervision).
+    snapshot_keep:
+        Snapshot generations each shard retains; also bounds how far
+        back the router keeps replay frames.
+    supervise_workers:
+        Whether each shard's internal service supervises its worker
+        threads (on by default; shard *process* supervision is always on).
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        snapshot_dir=None,
+        *,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        restart_policy: RestartPolicy | None = None,
+        snapshot_keep: int = 2,
+        supervise_workers: bool = True,
+        request_timeout: float = 120.0,
+        recovery_wait: float = 30.0,
+        _restore: bool = False,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if snapshot_keep < 1:
+            raise ValueError("snapshot_keep must be >= 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ShardRouter needs the 'fork' start method (POSIX only)"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self._snapshot_base = Path(snapshot_dir) if snapshot_dir else None
+        self._snapshot_keep = int(snapshot_keep)
+        self._supervise_workers = bool(supervise_workers)
+        self._restart_policy = restart_policy or RestartPolicy()
+        self._request_timeout = float(request_timeout)
+        self._recovery_wait = float(recovery_wait)
+        self.registry = MetricsRegistry()
+        self._cond = threading.Condition()
+        self._stop_event = threading.Event()
+        self._closed = False
+
+        restoring = bool(_restore and self._snapshot_base is not None)
+        self._specs: dict[str, StreamSpec] = {}
+        if restoring:
+            manifest = self._read_manifest()
+            num_shards = int(manifest["num_shards"])
+            virtual_nodes = int(manifest["virtual_nodes"])
+            self._specs = {
+                name: StreamSpec.from_dict(spec)
+                for name, spec in manifest["specs"].items()
+            }
+        self.num_shards = int(num_shards)
+        self._ring = HashRing(range(self.num_shards), virtual_nodes)
+        self._submitted: dict[str, int] = {}
+        # Hot-path routing cache: stream -> (handle, points counter).
+        self._route: dict[str, tuple[_ShardHandle, object]] = {}
+
+        self._shards = {
+            shard_id: _ShardHandle(shard_id)
+            for shard_id in range(self.num_shards)
+        }
+        for handle in self._shards.values():
+            handle.checkpoint_seqs = deque(maxlen=self._snapshot_keep)
+            self._spawn(handle, restore=restoring)
+            handle.state = "up"
+            self.registry.gauge(
+                "repro_shard_up", shard=str(handle.shard_id)
+            ).set(1)
+        if restoring:
+            self._reconcile_restored()
+        for name in self._specs:
+            self._cache_route(name)
+
+        self._monitor_thread = threading.Thread(
+            target=self._monitor, name="shard-router-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+
+    def _shard_dir(self, shard_id: int) -> str | None:
+        if self._snapshot_base is None:
+            return None
+        return str(self._snapshot_base / f"shard-{shard_id}")
+
+    def _spawn(self, handle: _ShardHandle, restore: bool) -> None:
+        data_parent, data_child = socket.socketpair()
+        ctrl_parent, ctrl_child = socket.socketpair()
+        options = {
+            "snapshot_dir": self._shard_dir(handle.shard_id),
+            "supervise": self._supervise_workers,
+            "snapshot_keep": self._snapshot_keep,
+            "restore": bool(restore),
+        }
+        process = self._ctx.Process(
+            target=shard_main,
+            args=(handle.shard_id, data_child, ctrl_child, options),
+            name=f"repro-shard-{handle.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        data_child.close()
+        ctrl_child.close()
+        ctrl_parent.settimeout(self._request_timeout)
+        handle.process = process
+        handle.data_sock = data_parent
+        handle.ctrl_sock = ctrl_parent
+
+    def _monitor(self) -> None:
+        while not self._stop_event.wait(0.02):
+            for handle in self._shards.values():
+                state = handle.state
+                if state == "dead" or (
+                    state == "up" and not handle.process.is_alive()
+                ):
+                    self._recover(handle)
+
+    def _note_dead(self, handle: _ShardHandle) -> None:
+        with self._cond:
+            if handle.state == "up":
+                handle.state = "dead"
+                self._cond.notify_all()
+
+    def _await_up(self, handle: _ShardHandle) -> None:
+        """Block until the shard is usable; raise when it never will be."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: handle.state in ("up", "failed", "closed"),
+                timeout=self._recovery_wait,
+            )
+            if handle.state == "up":
+                return
+            if handle.state == "failed":
+                raise StreamFailedError(
+                    f"shard {handle.shard_id} exhausted its restart budget "
+                    f"({self._restart_policy.max_restarts}); "
+                    f"last error: {handle.last_error}"
+                )
+            if handle.state == "closed":
+                raise RuntimeError("router is closed")
+            raise ShardDownError(
+                f"shard {handle.shard_id} did not recover within "
+                f"{self._recovery_wait:.0f}s (state {handle.state!r})"
+            )
+
+    def _recover(self, handle: _ShardHandle) -> None:
+        """Respawn, restore, reconcile and replay one dead shard."""
+        shard_id = handle.shard_id
+        exitcode = handle.process.exitcode
+        with self._cond:
+            if handle.state in ("closed", "failed", "recovering"):
+                return
+            handle.state = "recovering"
+            handle.last_error = f"shard process exited (code {exitcode})"
+            self._cond.notify_all()
+        self.registry.gauge("repro_shard_up", shard=str(shard_id)).set(0)
+        if handle.restarts >= self._restart_policy.max_restarts:
+            with self._cond:
+                handle.state = "failed"
+                self._cond.notify_all()
+            return
+        delay = self._restart_policy.delay(handle.restarts)
+        handle.restarts += 1
+        self.registry.counter(
+            "repro_shard_restarts_total", shard=str(shard_id)
+        ).inc()
+        if self._stop_event.wait(delay):
+            return
+        try:
+            # send_lock held across the whole swap: producers that raced
+            # past the state check serialize behind the replay, so frame
+            # order on the new channel stays monotone.
+            with handle.send_lock:
+                for sock in (handle.data_sock, handle.ctrl_sock):
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                handle.process.join(timeout=5.0)
+                self._spawn(
+                    handle, restore=self._snapshot_base is not None
+                )
+                report = self._request_raw(handle, "restore_report", {})
+                restored = {
+                    name: int(count)
+                    for name, count in report["arrivals"].items()
+                }
+                owned = {
+                    name
+                    for name in self._specs
+                    if self._ring.owner(name) == shard_id
+                }
+                for name in sorted(set(report["streams"]) - owned):
+                    self._request_raw(
+                        handle, "drop_stream", {"name": name, "drain": False}
+                    )
+                for name in sorted(owned - set(report["streams"])):
+                    self._request_raw(
+                        handle,
+                        "create_stream",
+                        {"name": name, "spec": self._shard_spec(name)},
+                    )
+                exact = all(
+                    restored.get(name, 0) == count
+                    for name, count in handle.arrivals_at_checkpoint.items()
+                )
+                checkpoint_seq = (
+                    handle.checkpoint_seqs[-1] if handle.checkpoint_seqs else 0
+                )
+                replayed = 0
+                for seq, name, start, payload in handle.replay:
+                    if name not in self._specs:
+                        continue
+                    if exact:
+                        if seq <= checkpoint_seq:
+                            continue
+                    elif start < restored.get(name, 0):
+                        continue
+                    send_frame(handle.data_sock, KIND_DATA, seq, name, payload)
+                    replayed += 1
+                if not exact:
+                    # The shard fell back past the newest generation (or
+                    # restored nothing); offset-based replay is exact
+                    # unless poison quarantine skewed arrival counts.
+                    handle.lossy = True
+                if handle.next_seq > 1:
+                    # Watermark sync so pre-crash barriers resolve even
+                    # when every retained frame was filtered out.
+                    send_frame(
+                        handle.data_sock, KIND_DATA, handle.next_seq - 1,
+                        "", b"",
+                    )
+            self.registry.counter(
+                "repro_router_replayed_frames_total", shard=str(shard_id)
+            ).inc(replayed)
+        except Exception as error:  # noqa: BLE001 - budget-bounded retry
+            handle.last_error = repr(error)
+            with self._cond:
+                if handle.state == "recovering":
+                    handle.state = "dead"  # monitor retries, budget permitting
+                    self._cond.notify_all()
+            return
+        with self._cond:
+            handle.state = "up"
+            self._cond.notify_all()
+        self.registry.gauge("repro_shard_up", shard=str(shard_id)).set(1)
+
+    # ------------------------------------------------------------------
+    # Control channel
+    # ------------------------------------------------------------------
+
+    def _request_raw(self, handle: _ShardHandle, verb: str, args: dict):
+        """One request/reply on the control channel (no recovery retry)."""
+        with handle.ctrl_lock:
+            handle.ctrl_seq += 1
+            seq = handle.ctrl_seq
+            send_frame(
+                handle.ctrl_sock, KIND_CONTROL, seq, verb, encode_obj(args)
+            )
+            while True:
+                frame = recv_frame(handle.ctrl_sock)
+                if frame is None:
+                    raise FramingError(
+                        f"shard {handle.shard_id} closed the control channel"
+                    )
+                if frame.kind == KIND_REPLY and frame.seq == seq:
+                    break
+        reply = decode_obj(frame.payload)
+        if reply.get("ok"):
+            return reply.get("value")
+        error_type = reply.get("error_type", "")
+        message = reply.get("error", "shard verb failed")
+        raised = _REMOTE_ERRORS.get(error_type)
+        if raised is not None:
+            raise raised(message)
+        raise ShardRemoteError(
+            f"shard {handle.shard_id} {verb} failed: {error_type}: {message}"
+        )
+
+    def _request(self, handle: _ShardHandle, verb: str, args: dict):
+        """Request with ride-across-recovery retry (idempotent verbs)."""
+        while True:
+            if handle.state != "up":
+                self._await_up(handle)
+            try:
+                return self._request_raw(handle, verb, args)
+            except TimeoutError:
+                raise
+            except (OSError, FramingError):
+                self._note_dead(handle)
+
+    def _owner_handle(self, name: str) -> _ShardHandle:
+        if name not in self._specs:
+            known = ", ".join(self.streams()) or "<none>"
+            raise UnknownStreamError(
+                f"no stream named {name!r}; hosted: {known}"
+            )
+        return self._shards[self._ring.owner(name)]
+
+    # ------------------------------------------------------------------
+    # Stream lifecycle
+    # ------------------------------------------------------------------
+
+    def _shard_spec(self, name: str) -> dict:
+        """The spec a shard hosts: checkpoint cadence stays router-side.
+
+        Shard-internal auto-checkpoints would write snapshot generations
+        at sequence points the router never saw, breaking the
+        seq <-> generation correspondence crash replay depends on; the
+        router drives the cadence itself, shard-wide.
+        """
+        return replace(self._specs[name], checkpoint_every=None).to_dict()
+
+    def _cache_route(self, name: str) -> None:
+        handle = self._shards[self._ring.owner(name)]
+        counter = self.registry.counter(
+            "repro_router_ingested_points_total",
+            stream=name,
+            shard=str(handle.shard_id),
+        )
+        self._route[name] = (handle, counter)
+
+    def _shard_cadence(self, handle: _ShardHandle) -> int | None:
+        cadences = [
+            spec.checkpoint_every
+            for name, spec in self._specs.items()
+            if spec.checkpoint_every is not None
+            and self._ring.owner(name) == handle.shard_id
+        ]
+        return min(cadences) if cadences else None
+
+    def create_stream(
+        self,
+        name: str,
+        backend: str | None = None,
+        params: dict | None = None,
+        *,
+        spec: StreamSpec | None = None,
+        **options,
+    ) -> None:
+        """Register a stream on its owner shard (placement is hashed)."""
+        if spec is None:
+            if backend is None:
+                raise ValueError("need either a spec or a backend name")
+            spec = StreamSpec(backend=backend, params=dict(params or {}), **options)
+        elif backend is not None or params is not None or options:
+            raise ValueError("pass either spec or backend/params/options, not both")
+        if self._closed:
+            raise RuntimeError("router is closed")
+        if not _valid_stream_name(name):
+            raise ValueError(
+                f"invalid stream name {name!r}; use letters, digits, '_' or '.'"
+            )
+        if name in self._specs:
+            raise ValueError(f"stream {name!r} already exists")
+        self._specs[name] = spec
+        handle = self._shards[self._ring.owner(name)]
+        try:
+            if handle.state != "up":
+                self._await_up(handle)
+            self._request_raw(
+                handle, "create_stream",
+                {"name": name, "spec": self._shard_spec(name)},
+            )
+        except (OSError, FramingError) as error:
+            # The shard died mid-create; recovery re-creates every owned
+            # stream from the spec map, so registration stands.
+            self._note_dead(handle)
+            del error
+        except Exception:
+            del self._specs[name]
+            raise
+        self._submitted.setdefault(name, 0)
+        self._cache_route(name)
+        handle.checkpoint_cadence = self._shard_cadence(handle)
+        self._write_manifest()
+
+    def drop_stream(self, name: str, drain: bool = True) -> None:
+        """Stop and forget a stream (its snapshots stay on disk)."""
+        handle = self._owner_handle(name)
+        self._request(handle, "drop_stream", {"name": name, "drain": drain})
+        del self._specs[name]
+        self._route.pop(name, None)
+        self._submitted.pop(name, None)
+        with handle.send_lock:
+            handle.replay = deque(
+                record for record in handle.replay if record[1] != name
+            )
+        handle.checkpoint_cadence = self._shard_cadence(handle)
+        self._write_manifest()
+
+    def streams(self) -> list[str]:
+        """Hosted stream names, sorted."""
+        return sorted(self._specs)
+
+    def spec(self, name: str) -> StreamSpec:
+        if name not in self._specs:
+            self._owner_handle(name)  # raises UnknownStreamError
+        return self._specs[name]
+
+    def placement(self) -> dict[str, int]:
+        """Owner shard id of every hosted stream."""
+        return self._ring.assignments(self._specs)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, name: str, values) -> int:
+        """Frame a batch to the owner shard; returns the accepted count.
+
+        Safe from any thread.  ``block`` backpressure propagates through
+        the socket buffer; ``reject``/``drop_oldest`` refusals happen
+        inside the shard (visible in worker counters, never raised
+        here).  A batch accepted while the shard is crashing is not
+        lost: it sits in the replay buffer and recovery re-delivers it.
+        """
+        route = self._route.get(name)
+        if route is None:
+            self._owner_handle(name)  # raises UnknownStreamError
+            route = self._route[name]
+        handle, counter = route
+        batch = as_stream_batch(values)
+        points = int(batch.size)
+        if points == 0:
+            return 0
+        payload = batch.tobytes()
+        if handle.state != "up":
+            self._await_up(handle)
+        send_failed = False
+        with handle.send_lock:
+            seq = handle.next_seq
+            handle.next_seq = seq + 1
+            start = self._submitted[name]
+            self._submitted[name] = start + points
+            handle.replay.append((seq, name, start, payload))
+            handle.points_since_checkpoint += points
+            checkpoint_due = (
+                handle.checkpoint_cadence is not None
+                and self._snapshot_base is not None
+                and handle.points_since_checkpoint >= handle.checkpoint_cadence
+                and not handle.checkpoint_pending
+            )
+            if checkpoint_due:
+                handle.checkpoint_pending = True
+            try:
+                send_frame(handle.data_sock, KIND_DATA, seq, name, payload)
+            except OSError:
+                send_failed = True
+        counter.inc(points)
+        if send_failed:
+            if checkpoint_due:
+                handle.checkpoint_pending = False
+            self._note_dead(handle)
+        elif checkpoint_due:
+            try:
+                self._checkpoint_shard(handle)
+            except Exception:
+                # Automatic checkpoints never fail the producer; the
+                # miss is counted and the next cadence tries again.
+                self.registry.counter(
+                    "repro_checkpoint_errors_total",
+                    shard=str(handle.shard_id),
+                ).inc()
+            finally:
+                handle.checkpoint_pending = False
+        return points
+
+    def flush(self, name: str | None = None, timeout: float | None = None) -> bool:
+        """Barrier + drain: every frame sent so far is fully ingested."""
+        if name is not None:
+            self._owner_handle(name)
+        handles = self._involved(name)
+        drained = True
+        for handle in handles:
+            with handle.send_lock:
+                upto = handle.next_seq - 1
+            result = self._request(
+                handle, "flush",
+                {"upto_seq": upto, "name": name, "timeout": timeout},
+            )
+            drained = bool(result) and drained
+        return drained
+
+    def _involved(self, name: str | None) -> list[_ShardHandle]:
+        if name is not None:
+            return [self._owner_handle(name)]
+        shard_ids = sorted({self._ring.owner(n) for n in self._specs})
+        return [self._shards[shard_id] for shard_id in shard_ids]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_sum(self, name: str, start: int, end: int) -> float:
+        """Estimated sum over window positions ``[start, end]``."""
+        return self._request(
+            self._owner_handle(name), "range_sum",
+            {"name": name, "start": int(start), "end": int(end)},
+        )
+
+    def quantile(self, name: str, fraction: float) -> float:
+        """Approximate ``fraction``-quantile of the summarized values."""
+        return self._request(
+            self._owner_handle(name), "quantile",
+            {"name": name, "fraction": float(fraction)},
+        )
+
+    def histogram(self, name: str) -> dict:
+        """JSON-friendly rendering of the stream's synopsis."""
+        return self._request(
+            self._owner_handle(name), "histogram", {"name": name}
+        )
+
+    def stats(self, name: str | None = None) -> dict:
+        """Ingest/maintenance/queue telemetry (one stream or all)."""
+        if name is not None:
+            return self._request(
+                self._owner_handle(name), "stats", {"name": name}
+            )
+        merged: dict = {}
+        for handle in self._involved(None):
+            merged.update(self._request(handle, "stats", {}))
+        return dict(sorted(merged.items()))
+
+    def dead_letters(self, name: str) -> list[dict]:
+        """Quarantined poison records (as dicts; they crossed a process)."""
+        return self._request(
+            self._owner_handle(name), "dead_letters", {"name": name}
+        )
+
+    def retry_dead_letters(self, name: str) -> dict:
+        """Re-feed a stream's quarantined records; returns outcome counts."""
+        return self._request(
+            self._owner_handle(name), "retry_dead_letters", {"name": name}
+        )
+
+    # ------------------------------------------------------------------
+    # Health and observability
+    # ------------------------------------------------------------------
+
+    def health(self, name: str | None = None) -> dict:
+        """Per-stream health (same shape as the threaded service, plus
+        ``shard`` / ``shard_restarts``); a down shard renders every
+        hosted stream ``degraded``, a failed one ``failed``."""
+        if name is None:
+            reports: dict = {}
+            for handle in self._involved(None):
+                if handle.state == "up":
+                    try:
+                        shard_reports = self._request_raw(handle, "health", {})
+                    except (OSError, FramingError):
+                        self._note_dead(handle)
+                        shard_reports = None
+                else:
+                    shard_reports = None
+                for stream in self._specs:
+                    if self._ring.owner(stream) != handle.shard_id:
+                        continue
+                    if shard_reports is not None and stream in shard_reports:
+                        reports[stream] = self._annotate_health(
+                            shard_reports[stream], handle
+                        )
+                    else:
+                        reports[stream] = self._down_health(stream, handle)
+            return dict(sorted(reports.items()))
+        handle = self._owner_handle(name)
+        if handle.state != "up":
+            return self._down_health(name, handle)
+        try:
+            record = self._request_raw(handle, "health", {"name": name})
+        except (OSError, FramingError):
+            self._note_dead(handle)
+            return self._down_health(name, handle)
+        return self._annotate_health(record, handle)
+
+    def _annotate_health(self, record: dict, handle: _ShardHandle) -> dict:
+        record["shard"] = handle.shard_id
+        record["shard_restarts"] = handle.restarts
+        if handle.lossy:
+            record["lossy_recovery"] = True
+        return record
+
+    def _down_health(self, name: str, handle: _ShardHandle) -> dict:
+        state = "failed" if handle.state == "failed" else "degraded"
+        return {
+            "stream": name,
+            "state": state,
+            "shard": handle.shard_id,
+            "shard_restarts": handle.restarts,
+            "restarts": handle.restarts,
+            "last_error": handle.last_error,
+            "lossy_recovery": handle.lossy,
+            "stale_view": True,
+            "queue_depth": 0,
+        }
+
+    def shard_states(self) -> dict[int, dict]:
+        """Router-level view of every shard process."""
+        return {
+            handle.shard_id: {
+                "state": handle.state,
+                "restarts": handle.restarts,
+                "last_error": handle.last_error,
+                "pid": handle.process.pid if handle.process else None,
+                "streams": sorted(
+                    name
+                    for name in self._specs
+                    if self._ring.owner(name) == handle.shard_id
+                ),
+            }
+            for handle in self._shards.values()
+        }
+
+    def metrics(self, name: str | None = None) -> list[dict]:
+        """Merged samples: router registry plus every live shard's,
+        re-labeled with ``shard`` so series never collide."""
+        samples = [
+            {**sample, "labels": {**sample["labels"], "shard": "router"}}
+            for sample in self.registry.collect()
+        ]
+        for handle in self._shards.values():
+            if handle.state != "up":
+                continue
+            try:
+                shard_samples = self._request_raw(handle, "metrics", {})
+            except (OSError, FramingError):
+                self._note_dead(handle)
+                continue
+            except (TimeoutError, StreamFailedError, ShardDownError):
+                continue
+            samples.extend(
+                {
+                    **sample,
+                    "labels": {
+                        **sample["labels"], "shard": str(handle.shard_id)
+                    },
+                }
+                for sample in shard_samples
+            )
+        if name is not None:
+            samples = [
+                sample
+                for sample in samples
+                if sample["labels"].get("stream") == name
+            ]
+        samples.sort(key=lambda s: (s["name"], sorted(s["labels"].items())))
+        return samples
+
+    def prometheus_metrics(self) -> str:
+        """The whole fleet as one Prometheus exposition document."""
+        return samples_to_prometheus_text(self.metrics())
+
+    def export_metrics_jsonl(self, path) -> Path:
+        """Append the merged samples to ``path`` as JSON lines."""
+        path = Path(path)
+        with open(path, "a") as stream:
+            stream.write(samples_to_jsonl(self.metrics()))
+        return path
+
+    def spans(
+        self, stage: str | None = None, name: str | None = None
+    ) -> list[SpanRecord]:
+        """Stage spans gathered from every shard, oldest first."""
+        records: list[SpanRecord] = []
+        for handle in self._involved(None):
+            payload = self._request(
+                handle, "spans", {"stage": stage, "name": name}
+            )
+            records.extend(SpanRecord(**span) for span in payload)
+        records.sort(key=lambda record: record.started_at)
+        return records
+
+    def accuracy(self, name: str) -> dict | None:
+        """The stream's accuracy-monitor summary (None if unconfigured)."""
+        return self._request(
+            self._owner_handle(name), "accuracy", {"name": name}
+        )
+
+    # ------------------------------------------------------------------
+    # Certification
+    # ------------------------------------------------------------------
+
+    def certify(self, name: str | None = None, **kwargs) -> dict:
+        """Differential certification per shard + placement audit.
+
+        With a ``name``: the owning shard runs the same three-layer
+        :meth:`StreamService.certify` it would run in-process.  Without:
+        every hosted stream is certified on its shard and the report
+        adds the router-level placement-stability audit.
+        """
+        if name is not None:
+            report = self._request(
+                self._owner_handle(name), "certify",
+                {"name": name, **kwargs},
+            )
+            report["shard"] = self._ring.owner(name)
+            return report
+        streams = {
+            stream: self.certify(stream, **kwargs) for stream in self.streams()
+        }
+        placement = self.placement_audit()
+        return {
+            "passed": placement["passed"]
+            and all(report["passed"] for report in streams.values()),
+            "streams": streams,
+            "placement": placement,
+            "shards": self.shard_states(),
+        }
+
+    def placement_audit(self, probes: int = 256) -> dict:
+        """Audit placement determinism and monotone ring stability.
+
+        Checks that (1) every hosted stream lives on the shard the ring
+        assigns it (no drifted placement), and (2) growing the ring by
+        one shard moves keys *only* onto the new shard -- the
+        consistent-hashing contract that bounds rebalancing.
+        """
+        keys = sorted(self._specs) + [f"probe_{i}" for i in range(probes)]
+        new_shard = max(self._ring.shard_ids) + 1
+        grown = HashRing(
+            list(self._ring.shard_ids) + [new_shard],
+            self._ring.virtual_nodes,
+        )
+        moved_within = [
+            key
+            for key in keys
+            if grown.owner(key) not in (self._ring.owner(key), new_shard)
+        ]
+        moved_to_new = sum(1 for key in keys if grown.owner(key) == new_shard)
+        misplaced = []
+        for handle in self._involved(None):
+            hosted = self._request(handle, "streams", {})
+            misplaced.extend(
+                stream
+                for stream in hosted
+                if self._ring.owner(stream) != handle.shard_id
+            )
+            misplaced.extend(
+                stream
+                for stream in self._specs
+                if self._ring.owner(stream) == handle.shard_id
+                and stream not in hosted
+            )
+        return {
+            "passed": not moved_within and not misplaced,
+            "keys_checked": len(keys),
+            "moved_to_new_shard": moved_to_new,
+            "moved_between_existing": moved_within,
+            "misplaced_streams": sorted(set(misplaced)),
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, name: str | None = None) -> list[str]:
+        """Durable snapshots at a router sequence barrier; returns paths.
+
+        Shard-granular: naming a stream checkpoints every stream of its
+        owning shard (replay retention advances per shard).  After each
+        shard acknowledges, the router trims that shard's replay buffer
+        to the oldest retained generation.
+        """
+        if self._snapshot_base is None:
+            raise RuntimeError("router was created without a snapshot_dir")
+        if name is not None:
+            self._owner_handle(name)
+        paths: list[str] = []
+        for handle in self._involved(name):
+            paths.extend(self._checkpoint_shard(handle))
+        return paths
+
+    def _checkpoint_shard(self, handle: _ShardHandle) -> list[str]:
+        while True:
+            if handle.state != "up":
+                self._await_up(handle)
+            with handle.send_lock:
+                upto = handle.next_seq - 1
+            try:
+                reply = self._request_raw(
+                    handle, "checkpoint", {"upto_seq": upto}
+                )
+            except TimeoutError:
+                raise
+            except (OSError, FramingError):
+                self._note_dead(handle)
+                continue
+            with handle.send_lock:
+                handle.checkpoint_seqs.append(upto)
+                handle.arrivals_at_checkpoint = {
+                    stream: int(count)
+                    for stream, count in reply["arrivals"].items()
+                }
+                oldest = handle.checkpoint_seqs[0]
+                while handle.replay and handle.replay[0][0] <= oldest:
+                    handle.replay.popleft()
+                handle.points_since_checkpoint = 0
+            return list(reply["paths"])
+
+    def _manifest_path(self) -> Path:
+        return self._snapshot_base / MANIFEST_NAME
+
+    def _write_manifest(self) -> None:
+        if self._snapshot_base is None:
+            return
+        self._snapshot_base.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": 1,
+            "num_shards": self.num_shards,
+            "virtual_nodes": self._ring.virtual_nodes,
+            "specs": {
+                name: spec.to_dict() for name, spec in self._specs.items()
+            },
+        }
+        target = self._manifest_path()
+        scratch = target.with_suffix(".tmp")
+        scratch.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(scratch, target)
+
+    def _read_manifest(self) -> dict:
+        manifest = self._manifest_path()
+        if not manifest.exists():
+            raise FileNotFoundError(
+                f"no router manifest at {manifest}; nothing to restore"
+            )
+        return json.loads(manifest.read_text())
+
+    def _reconcile_restored(self) -> None:
+        """After a cold restore, align every shard with the manifest."""
+        for handle in self._shards.values():
+            report = self._request_raw(handle, "restore_report", {})
+            restored = {
+                stream: int(count)
+                for stream, count in report["arrivals"].items()
+            }
+            owned = {
+                stream
+                for stream in self._specs
+                if self._ring.owner(stream) == handle.shard_id
+            }
+            for stream in sorted(set(report["streams"]) - owned):
+                self._request_raw(
+                    handle, "drop_stream", {"name": stream, "drain": False}
+                )
+            for stream in sorted(owned - set(report["streams"])):
+                self._request_raw(
+                    handle,
+                    "create_stream",
+                    {"name": stream, "spec": self._shard_spec(stream)},
+                )
+            handle.arrivals_at_checkpoint = {
+                stream: restored.get(stream, 0) for stream in owned
+            }
+            handle.checkpoint_cadence = self._shard_cadence(handle)
+            for stream in owned:
+                self._submitted[stream] = restored.get(stream, 0)
+
+    @classmethod
+    def restore(cls, snapshot_dir, **kwargs) -> "ShardRouter":
+        """Bring a whole sharded service back from its snapshot tree.
+
+        Ring geometry and stream specs come from the router manifest;
+        each shard restores its internal service from its own
+        SnapshotStore directory (with the store's generation fallback),
+        so the recovered fleet converges to the state the stopped one
+        had checkpointed, under identical placement.
+        """
+        return cls(snapshot_dir=snapshot_dir, _restore=True, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, checkpoint: bool | None = None) -> None:
+        """Barrier, optionally checkpoint, and stop every shard
+        (idempotent).  ``checkpoint=None`` means each shard takes its
+        default final checkpoint when it has a snapshot store."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_event.set()
+        if self._monitor_thread.is_alive():
+            self._monitor_thread.join(timeout=5.0)
+        for handle in self._shards.values():
+            process = handle.process
+            if (
+                process is not None
+                and process.is_alive()
+                and handle.state in ("up", "dead")
+            ):
+                try:
+                    with handle.send_lock:
+                        upto = handle.next_seq - 1
+                    self._request_raw(
+                        handle, "stop",
+                        {"upto_seq": upto, "checkpoint": checkpoint},
+                    )
+                except (OSError, FramingError, TimeoutError, ShardRemoteError):
+                    pass
+            if process is not None:
+                process.join(timeout=10.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join(timeout=2.0)
+            for sock in (handle.data_sock, handle.ctrl_sock):
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+            with self._cond:
+                handle.state = "closed"
+                self._cond.notify_all()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(checkpoint=False if exc_type else None)

@@ -10,20 +10,23 @@ The summary stores tuples ``(value, g, delta)`` where ``g`` is the gap in
 minimum rank to the previous tuple and ``delta`` bounds the rank
 uncertainty.  The invariant ``g + delta <= floor(2 * epsilon * N)`` is
 restored by periodic compression.
+
+The tuples live in three parallel plain lists (values / gaps / deltas)
+rather than a list of tuple objects: insertion position comes from a C
+``bisect`` over the value list instead of a Python linear scan, and the
+ingest loop touches only list cells.  This summary sits on the hottest
+path of the serving layer (it is the default benchmark backend), and the
+flat layout roughly halves the per-point cost while evolving the summary
+bit-identically to the original structure -- ``bisect_right`` lands on
+exactly the position the ``<=`` scan found, so every ``to_dict``
+rendering, rank bracket and quantile answer is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right
 
 __all__ = ["GKQuantileSummary"]
-
-
-@dataclass
-class _Tuple:
-    value: float
-    g: int
-    delta: int
 
 
 class GKQuantileSummary:
@@ -33,7 +36,9 @@ class GKQuantileSummary:
         if not (0 < epsilon < 1):
             raise ValueError("epsilon must be in (0, 1)")
         self.epsilon = epsilon
-        self._tuples: list[_Tuple] = []
+        self._values: list[float] = []
+        self._gaps: list[int] = []
+        self._deltas: list[int] = []
         self._count = 0
         self._compress_period = max(1, int(1.0 / (2.0 * epsilon)))
 
@@ -44,24 +49,22 @@ class GKQuantileSummary:
     @property
     def summary_size(self) -> int:
         """Number of stored tuples (the space actually used)."""
-        return len(self._tuples)
+        return len(self._values)
 
     def insert(self, value: float) -> None:
         value = float(value)
         self._count += 1
-        threshold = int(2.0 * self.epsilon * self._count)
-
-        position = 0
-        while position < len(self._tuples) and self._tuples[position].value <= value:
-            position += 1
-
-        if position == 0 or position == len(self._tuples):
+        values = self._values
+        position = bisect_right(values, value)
+        values.insert(position, value)
+        self._gaps.insert(position, 1)
+        if position == 0 or position == len(values) - 1:
             # New minimum or maximum: exact rank, delta = 0.
-            self._tuples.insert(position, _Tuple(value, 1, 0))
+            self._deltas.insert(position, 0)
         else:
-            delta = max(0, threshold - 1)
-            self._tuples.insert(position, _Tuple(value, 1, delta))
-
+            self._deltas.insert(
+                position, max(0, int(2.0 * self.epsilon * self._count) - 1)
+            )
         if self._count % self._compress_period == 0:
             self._compress()
 
@@ -71,19 +74,44 @@ class GKQuantileSummary:
     append = insert
 
     def extend(self, values) -> None:
+        # One flat loop with every hot name bound locally; ndarray input
+        # is converted up front so the loop iterates plain floats.
+        if hasattr(values, "tolist"):
+            values = values.tolist()
+        stored = self._values
+        gaps = self._gaps
+        deltas = self._deltas
+        count = self._count
+        two_eps = 2.0 * self.epsilon
+        period = self._compress_period
         for value in values:
-            self.insert(value)
+            value = float(value)
+            count += 1
+            position = bisect_right(stored, value)
+            stored.insert(position, value)
+            gaps.insert(position, 1)
+            if position == 0 or position == len(stored) - 1:
+                deltas.insert(position, 0)
+            else:
+                deltas.insert(position, max(0, int(two_eps * count) - 1))
+            if count % period == 0:
+                self._count = count
+                self._compress()
+        self._count = count
 
     def _compress(self) -> None:
         """Merge adjacent tuples while the rank invariant allows it."""
         threshold = int(2.0 * self.epsilon * self._count)
-        tuples = self._tuples
-        i = len(tuples) - 2
+        values = self._values
+        gaps = self._gaps
+        deltas = self._deltas
+        i = len(values) - 2
         while i >= 1:
-            current, nxt = tuples[i], tuples[i + 1]
-            if current.g + nxt.g + nxt.delta <= threshold:
-                nxt.g += current.g
-                del tuples[i]
+            if gaps[i] + gaps[i + 1] + deltas[i + 1] <= threshold:
+                gaps[i + 1] += gaps[i]
+                del values[i]
+                del gaps[i]
+                del deltas[i]
             i -= 1
 
     def rank_bounds(self, value: float) -> tuple[int, int]:
@@ -100,12 +128,12 @@ class GKQuantileSummary:
         min_rank = 0
         max_rank = self._count
         running = 0
-        for entry in self._tuples:
-            running += entry.g
-            if entry.value <= value:
+        for stored, g, delta in zip(self._values, self._gaps, self._deltas):
+            running += g
+            if stored <= value:
                 min_rank = running
             else:
-                max_rank = max(min_rank, running + entry.delta - 1)
+                max_rank = max(min_rank, running + delta - 1)
                 break
         return min_rank, max_rank
 
@@ -119,14 +147,16 @@ class GKQuantileSummary:
         allowance = self.epsilon * self._count
 
         running_min = 0
-        for i, entry in enumerate(self._tuples):
-            running_min += entry.g
-            max_rank = running_min + entry.delta
+        for i, (value, g, delta) in enumerate(
+            zip(self._values, self._gaps, self._deltas)
+        ):
+            running_min += g
+            max_rank = running_min + delta
             if target - running_min <= allowance and max_rank - target <= allowance:
-                return entry.value
+                return value
             if running_min > target + allowance and i > 0:
-                return self._tuples[i - 1].value
-        return self._tuples[-1].value
+                return self._values[i - 1]
+        return self._values[-1]
 
     def quantiles(self, count: int) -> list[float]:
         """``count`` evenly spaced quantiles (excluding 0, including interior)."""
@@ -144,7 +174,10 @@ class GKQuantileSummary:
         return {
             "epsilon": self.epsilon,
             "count": self._count,
-            "tuples": [[t.value, t.g, t.delta] for t in self._tuples],
+            "tuples": [
+                [value, g, delta]
+                for value, g, delta in zip(self._values, self._gaps, self._deltas)
+            ],
         }
 
     @classmethod
@@ -155,24 +188,25 @@ class GKQuantileSummary:
         if count < 0:
             raise ValueError("count must be non-negative")
         tuples = [
-            _Tuple(float(value), int(g), int(delta))
+            (float(value), int(g), int(delta))
             for value, g, delta in payload["tuples"]
         ]
         if count == 0 and tuples:
             raise ValueError("tuples present with zero count")
         if count > 0 and not tuples:
             raise ValueError("no tuples for a non-empty summary")
-        if any(t.g < 1 or t.delta < 0 for t in tuples):
+        if any(g < 1 or delta < 0 for _, g, delta in tuples):
             raise ValueError("tuple gaps must be >= 1 and deltas >= 0")
         if any(
-            later.value < earlier.value
-            for earlier, later in zip(tuples, tuples[1:])
+            later[0] < earlier[0] for earlier, later in zip(tuples, tuples[1:])
         ):
             raise ValueError("tuples must be sorted by value")
-        if sum(t.g for t in tuples) > count:
+        if sum(g for _, g, _ in tuples) > count:
             raise ValueError("rank gaps exceed the stream count")
         summary._count = count
-        summary._tuples = tuples
+        summary._values = [value for value, _, _ in tuples]
+        summary._gaps = [g for _, g, _ in tuples]
+        summary._deltas = [delta for _, _, delta in tuples]
         return summary
 
     def merge(self, other: "GKQuantileSummary") -> "GKQuantileSummary":
@@ -191,24 +225,26 @@ class GKQuantileSummary:
         if merged._count == 0:
             return merged
 
-        def widened(own: list[_Tuple], foreign: list[_Tuple]) -> list[tuple[float, int, int]]:
+        def widened(own: "GKQuantileSummary", foreign: "GKQuantileSummary"):
             entries = []
-            for position, entry in enumerate(own):
+            for value, g, delta in zip(own._values, own._gaps, own._deltas):
                 # Rank slack from the other summary: the first foreign
                 # tuple strictly after this value can precede or follow
                 # the true position by its own uncertainty.
                 slack = 0
-                for candidate in foreign:
-                    if candidate.value > entry.value:
-                        slack = candidate.g + candidate.delta - 1
+                for candidate, cg, cdelta in zip(
+                    foreign._values, foreign._gaps, foreign._deltas
+                ):
+                    if candidate > value:
+                        slack = cg + cdelta - 1
                         break
-                entries.append((entry.value, entry.g, entry.delta + max(0, slack)))
+                entries.append((value, g, delta + max(0, slack)))
             return entries
 
-        combined = widened(self._tuples, other._tuples) + widened(
-            other._tuples, self._tuples
-        )
+        combined = widened(self, other) + widened(other, self)
         combined.sort(key=lambda item: item[0])
-        merged._tuples = [_Tuple(value, g, delta) for value, g, delta in combined]
+        merged._values = [value for value, _, _ in combined]
+        merged._gaps = [g for _, g, _ in combined]
+        merged._deltas = [delta for _, _, delta in combined]
         merged._compress()
         return merged
