@@ -1,0 +1,153 @@
+"""Counting-backend microbenchmarks: throughput and space footprint.
+
+Measures the two :mod:`repro.counting` backends standalone, away from
+queue and socket overhead:
+
+* ``eh_count`` -- batched ingest throughput of the exponential-histogram
+  maintainer at several ``(window, epsilon)`` points, plus the bucket
+  cells actually stored (the ``O((1/eps) log^2 n)`` space claim, in
+  numbers);
+* ``cr_precis`` -- bulk ``extend`` (decoded signed-unit batches) and
+  per-call ``update`` throughput of the turnstile maintainer, plus its
+  fixed ``sum(primes)`` table cells.
+
+Standalone:  ``PYTHONPATH=src python benchmarks/bench_counting.py``
+merges a ``"counting"`` section into the committed ``BENCH_service.json``
+(creating the file if absent).  The section is a recorded baseline, not
+a gate: the ``--check`` regression gate of
+``bench_service_throughput.py`` reads only the fleet rows and ignores
+this key, so slow CI hosts cannot fail the build on a microbenchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.counting import CRPrecisMaintainer, EHCountMaintainer
+
+#: Points fed to every throughput measurement.
+POINTS = 50_000
+CHUNK = 512
+
+#: ``(window, epsilon)`` grid for the exponential-histogram rows.
+EH_GRID = ((1_000, 0.1), (10_000, 0.1), (10_000, 0.01))
+
+#: ``(rows, base, domain)`` grid for the CR-precis rows.
+CR_GRID = ((5, 23, 131_072), (9, 101, 131_072))
+
+#: Per-call ``update()`` invocations timed for the turnstile path.
+UPDATE_CALLS = 20_000
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+
+def bench_eh(window: int, epsilon: float) -> dict:
+    """Time batched ingest of POINTS integers; report the cells kept."""
+    rng = np.random.default_rng(17)
+    stream = rng.integers(0, 256, POINTS).astype(np.float64)
+    maintainer = EHCountMaintainer(window=window, epsilon=epsilon)
+    started = time.perf_counter()
+    for start in range(0, POINTS, CHUNK):
+        maintainer.extend(stream[start : start + CHUNK])
+    elapsed = time.perf_counter() - started
+    synopsis = maintainer.synopsis()
+    return {
+        "window": window,
+        "epsilon": epsilon,
+        "points": POINTS,
+        "seconds": elapsed,
+        "points_per_second": POINTS / elapsed,
+        "bucket_cells": synopsis.bucket_cells(),
+        "sum_error_bound": synopsis.sum_error_bound(),
+    }
+
+
+def bench_cr(rows: int, base: int, domain: int) -> dict:
+    """Time bulk extend and per-call update on a 40%-deletion stream."""
+    rng = np.random.default_rng(23)
+    keys = np.minimum(rng.zipf(1.4, POINTS), domain - 1).astype(np.float64)
+    # ~40% deletions while staying a strict turnstile: odd positions may
+    # delete the key the (always-insert) even position before them added.
+    encoded = keys.copy()
+    odd = np.arange(1, POINTS, 2)
+    chosen = odd[rng.random(odd.size) < 0.8]
+    encoded[chosen] = -(keys[chosen - 1] + 1.0)
+
+    bulk = CRPrecisMaintainer(rows=rows, base=base, domain=domain)
+    started = time.perf_counter()
+    for start in range(0, POINTS, CHUNK):
+        bulk.extend(encoded[start : start + CHUNK])
+    bulk_elapsed = time.perf_counter() - started
+
+    single = CRPrecisMaintainer(rows=rows, base=base, domain=domain)
+    started = time.perf_counter()
+    for index in range(UPDATE_CALLS):
+        single.update(int(keys[index % POINTS]), 1)
+    update_elapsed = time.perf_counter() - started
+
+    return {
+        "rows": rows,
+        "base": base,
+        "domain": domain,
+        "points": POINTS,
+        "extend_seconds": bulk_elapsed,
+        "extend_points_per_second": POINTS / bulk_elapsed,
+        "update_calls": UPDATE_CALLS,
+        "update_calls_per_second": UPDATE_CALLS / update_elapsed,
+        "table_cells": bulk.synopsis().table_cells(),
+    }
+
+
+def run() -> dict:
+    eh_rows = []
+    for window, epsilon in EH_GRID:
+        row = bench_eh(window, epsilon)
+        eh_rows.append(row)
+        print(
+            f"eh_count  n={window:>6} eps={epsilon:<5g} "
+            f"{row['points_per_second']:>10,.0f} points/s, "
+            f"{row['bucket_cells']:>5} bucket cells"
+        )
+    cr_rows = []
+    for rows, base, domain in CR_GRID:
+        row = bench_cr(rows, base, domain)
+        cr_rows.append(row)
+        print(
+            f"cr_precis t={rows} base={base:>3} M={domain} "
+            f"extend {row['extend_points_per_second']:>10,.0f} points/s, "
+            f"update {row['update_calls_per_second']:>9,.0f} calls/s, "
+            f"{row['table_cells']:>4} table cells"
+        )
+    return {
+        "points": POINTS,
+        "chunk": CHUNK,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "eh_count": eh_rows,
+        "cr_precis": cr_rows,
+    }
+
+
+def main(output_path: str | Path = DEFAULT_OUTPUT) -> dict:
+    section = run()
+    output_path = Path(output_path)
+    payload = {}
+    if output_path.exists():
+        with open(output_path) as handle:
+            payload = json.load(handle)
+    payload["counting"] = section
+    with open(output_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"merged counting section into {output_path}")
+    return section
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])

@@ -65,6 +65,27 @@ REGRESSION_TOLERANCE = 0.15
 DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / "BENCH_service.json"
 
 
+def synopsis_cells(synopsis) -> int | None:
+    """Stored cells of a served synopsis -- the space half of the
+    space/throughput trade-off, recorded next to points/s.
+
+    GK summaries report their tuple count, histograms their buckets,
+    the counting backends their bucket/table cells; synopses without a
+    recognizable footprint report ``None`` rather than a guess.
+    """
+    for attribute in ("bucket_cells", "table_cells"):
+        probe = getattr(synopsis, attribute, None)
+        if callable(probe):
+            return int(probe())
+    size = getattr(synopsis, "summary_size", None)
+    if size is not None:
+        return int(size)
+    try:
+        return len(synopsis)
+    except TypeError:
+        return None
+
+
 def run_fleet(num_streams: int) -> dict:
     """Ingest POINTS_PER_STREAM into each of ``num_streams`` streams."""
     stream = att_utilization_stream(POINTS_PER_STREAM, seed=7)
@@ -97,6 +118,8 @@ def run_fleet(num_streams: int) -> dict:
         stats = [service.stats(name) for name in names]
         total_points = sum(s["ingested_points"] for s in stats)
         assert total_points == num_streams * POINTS_PER_STREAM
+        footprints = [synopsis_cells(service.synopsis(name)) for name in names]
+        footprints = [cells for cells in footprints if cells is not None]
         return {
             "streams": num_streams,
             "points_per_stream": POINTS_PER_STREAM,
@@ -106,6 +129,7 @@ def run_fleet(num_streams: int) -> dict:
             "enqueue_p50_seconds": max(s["enqueue_p50_seconds"] for s in stats),
             "enqueue_p99_seconds": max(s["enqueue_p99_seconds"] for s in stats),
             "max_queue_depth": max(s["max_queue_depth"] for s in stats),
+            "synopsis_cells_max": max(footprints, default=None),
             "stage_seconds": stage_summary(service),
         }
 
@@ -308,9 +332,14 @@ def _previous_pps(baseline: dict) -> dict:
 
 def main(output_path: str = "BENCH_service.json") -> dict:
     previous = {}
+    counting_section = None
     if Path(output_path).exists():
         with open(output_path) as handle:
-            previous = _previous_pps(json.load(handle))
+            committed = json.load(handle)
+        previous = _previous_pps(committed)
+        # bench_counting.py merges its (non-gated) section into the same
+        # file; a fresh service run must not silently drop it.
+        counting_section = committed.get("counting")
     results = []
     for num_streams in STREAM_COUNTS:
         result = run_fleet(num_streams)
@@ -368,6 +397,8 @@ def main(output_path: str = "BENCH_service.json") -> dict:
         "comparison": comparison,
         "recovery": recovery,
     }
+    if counting_section is not None:
+        payload["counting"] = counting_section
     with open(output_path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

@@ -1,0 +1,33 @@
+"""Sliding-window and turnstile synopses (``eh_count`` / ``cr_precis``).
+
+This subsystem opens the two stream models the paper's insert-only
+synopses cannot express:
+
+* **Sliding-window counting** -- :class:`ExponentialHistogram` (Datar
+  et al. exponential histograms): eps-relative nonzero count and sum
+  over the last ``n`` arrivals, with windowed mean/variance on top.
+* **Strict turnstile** -- :class:`CRPrecis` (Ganguly & Majumder):
+  deterministic point-query / heavy-hitter / range-count estimates for
+  update streams with deletions.
+
+The Maintainer adapters register as ``"eh_count"`` and ``"cr_precis"``
+in :mod:`repro.runtime.registry`; turnstile updates cross the serving
+stack via the signed-unit float codec in :mod:`repro.counting.encoding`.
+"""
+
+from .adapters import CRPrecisMaintainer, EHCountMaintainer
+from .cr_precis import CRPrecis, first_primes
+from .eh import BasicCountingEH, ExponentialHistogram
+from .encoding import decode_updates, encode_update, encode_updates
+
+__all__ = [
+    "BasicCountingEH",
+    "CRPrecis",
+    "CRPrecisMaintainer",
+    "EHCountMaintainer",
+    "ExponentialHistogram",
+    "decode_updates",
+    "encode_update",
+    "encode_updates",
+    "first_primes",
+]

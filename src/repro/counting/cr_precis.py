@@ -1,0 +1,208 @@
+"""CR-precis: deterministic turnstile frequency summary (Ganguly & Majumder).
+
+All of the paper's synopses assume the cash-register model -- points
+arrive and are never retracted.  The CR-precis structure serves the
+*strict turnstile* model instead: a frequency vector ``f`` over a key
+domain ``[0, M)`` evolves by ``update(key, delta)`` with deletions
+allowed, as long as every frequency stays non-negative.
+
+The summary is a table of ``t`` rows; row ``j`` holds ``p_j`` int64
+counters where ``p_1 < p_2 < ... < p_t`` are the first ``t`` primes at
+or above a configurable ``base``.  An update adds ``delta`` to cell
+``key mod p_j`` of every row.  Because the rows are linear in ``f``,
+deletions are handled for free, and the structure is fully
+deterministic -- the same update multiset always yields the same table,
+which the differential checker exploits for bit-exact comparisons.
+
+Estimation rests on the Chinese Remainder Theorem: two distinct keys
+``x != y`` with ``|x - y| < M`` can collide (``x = y mod p_j``) in at
+most ``e = max{ m : p_1^m <= M - 1 }`` of the rows, because every
+colliding row's prime divides ``x - y``.  Hence for a point query the
+minimum cell over the rows overestimates ``f_x`` by at most
+``(||f||_1 - f_x) * e / t`` and never underestimates it; heavy hitters
+admit no false negatives, and range counts inherit the summed
+per-point bound.  Space is ``O(t * p_t)`` counters with no dependence
+on the number of distinct keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CRPrecis", "first_primes"]
+
+
+def first_primes(base: int, count: int) -> list[int]:
+    """The first ``count`` primes greater than or equal to ``base``."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    primes: list[int] = []
+    candidate = max(2, int(base))
+    while len(primes) < count:
+        is_prime = candidate >= 2
+        divisor = 2
+        while divisor * divisor <= candidate:
+            if candidate % divisor == 0:
+                is_prime = False
+                break
+            divisor += 1
+        if is_prime:
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+class CRPrecis:
+    """Deterministic ``t``-row prime-modulus residue table.
+
+    Parameters
+    ----------
+    rows:
+        ``t``, the number of residue rows.  More rows divide the
+        collision mass further: the point-query overestimate is at most
+        ``(||f||_1 - f_x) * e / t``.
+    base:
+        Smallest admissible row modulus; the moduli are the first
+        ``rows`` primes at or above it.  A larger base shrinks
+        ``e = floor(log_base(M - 1))`` at the cost of wider rows.
+    domain:
+        ``M``; keys must lie in ``[0, M)``.
+
+    The object doubles as the served synopsis: queries are pure reads
+    and :meth:`to_dict` / :meth:`from_dict` round-trip the exact table.
+    """
+
+    def __init__(self, rows: int, base: int, domain: int) -> None:
+        if rows < 1:
+            raise ValueError("rows must be >= 1")
+        if base < 2:
+            raise ValueError("base must be >= 2")
+        if domain < 2:
+            raise ValueError("domain must be >= 2")
+        self.rows = int(rows)
+        self.base = int(base)
+        self.domain = int(domain)
+        self.primes = first_primes(self.base, self.rows)
+        self.tables = [np.zeros(p, dtype=np.int64) for p in self.primes]
+        #: Total unit updates applied: ``sum(|delta|)`` over the stream.
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def apply(self, keys: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply pre-validated int64 ``(keys, deltas)`` arrays in bulk."""
+        for prime, table in zip(self.primes, self.tables):
+            np.add.at(table, keys % prime, deltas)
+        self.updates += int(np.abs(deltas).sum())
+
+    def update(self, key: int, delta: int) -> None:
+        """Apply one turnstile update ``f[key] += delta``."""
+        key = int(key)
+        delta = int(delta)
+        if not 0 <= key < self.domain:
+            raise ValueError(
+                f"key {key} outside turnstile domain [0, {self.domain})"
+            )
+        if delta == 0:
+            return
+        for prime, table in zip(self.primes, self.tables):
+            table[key % prime] += delta
+        self.updates += abs(delta)
+
+    # ------------------------------------------------------------------
+    # Queries (pure)
+    # ------------------------------------------------------------------
+
+    def l1(self) -> int:
+        """``||f||_1`` -- exact in the strict turnstile model, since
+        every row sums to the same total mass."""
+        return int(self.tables[0].sum())
+
+    def point_query(self, key: int) -> int:
+        """Overestimate of ``f[key]``: min cell over the rows."""
+        key = int(key)
+        if not 0 <= key < self.domain:
+            raise ValueError(
+                f"key {key} outside turnstile domain [0, {self.domain})"
+            )
+        return int(
+            min(int(table[key % prime]) for prime, table in zip(self.primes, self.tables))
+        )
+
+    def point_estimates(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`point_query` over an int64 key array."""
+        keys = np.asarray(keys, dtype=np.int64)
+        return np.minimum.reduce(
+            [table[keys % prime] for prime, table in zip(self.primes, self.tables)]
+        )
+
+    def error_exponent(self) -> int:
+        """``e = max{ m : p_1^m <= domain - 1 }`` -- the maximum number
+        of rows in which two distinct in-domain keys can collide."""
+        exponent = 0
+        power = 1
+        while power * self.primes[0] <= self.domain - 1:
+            power *= self.primes[0]
+            exponent += 1
+        return exponent
+
+    def overestimate_bound(self, true_frequency: int = 0) -> float:
+        """Deterministic bound on ``point_query(x) - f_x``."""
+        return (self.l1() - int(true_frequency)) * self.error_exponent() / self.rows
+
+    def heavy_hitters(self, phi: float) -> dict[int, int]:
+        """Keys whose estimate reaches ``phi * ||f||_1``.
+
+        Every key with true frequency at or above the threshold is
+        reported (estimates never underestimate); reported estimates
+        exceed true frequencies by at most :meth:`overestimate_bound`.
+        """
+        if not 0.0 < phi <= 1.0:
+            raise ValueError("phi must be in (0, 1]")
+        threshold = max(1.0, phi * self.l1())
+        keys = np.arange(self.domain, dtype=np.int64)
+        estimates = self.point_estimates(keys)
+        hot = np.nonzero(estimates >= threshold)[0]
+        return {int(key): int(estimates[key]) for key in hot}
+
+    def range_count(self, low: int, high: int) -> int:
+        """Overestimate of ``sum(f[low..high])`` (inclusive ends)."""
+        low = int(low)
+        high = int(high)
+        if not 0 <= low <= high < self.domain:
+            raise ValueError(
+                f"range [{low}, {high}] outside turnstile domain [0, {self.domain})"
+            )
+        keys = np.arange(low, high + 1, dtype=np.int64)
+        return int(self.point_estimates(keys).sum())
+
+    def table_cells(self) -> int:
+        """Total counters stored (the space footprint)."""
+        return int(sum(self.primes))
+
+    # ------------------------------------------------------------------
+    # Serialization (exact integers; JSON round-trips bit-exactly)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "rows": self.rows,
+            "base": self.base,
+            "domain": self.domain,
+            "updates": self.updates,
+            "tables": [table.tolist() for table in self.tables],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CRPrecis":
+        summary = cls(
+            int(payload["rows"]), int(payload["base"]), int(payload["domain"])
+        )
+        summary.updates = int(payload["updates"])
+        restored = [np.asarray(row, dtype=np.int64) for row in payload["tables"]]
+        if [len(row) for row in restored] != summary.primes:
+            raise ValueError("CR-precis payload rows do not match the moduli")
+        summary.tables = restored
+        return summary

@@ -1,0 +1,52 @@
+"""Signed-float codec carrying turnstile updates over value streams.
+
+The entire serving stack -- queues, snapshots, replay logs, shard
+frames -- moves 1-D float64 batches.  Rather than teach every layer a
+second payload type, turnstile updates ride the existing channel with a
+per-element encoding: an insert of ``key`` travels as ``float(key)``
+and a deletion as ``-(key + 1)`` (the shift keeps key 0 encodable).
+Each element is a self-contained unit update, so a batch can be split,
+replayed, or checkpointed at any boundary without corrupting a
+multi-element record -- the property the differential checker's
+split-batch twin exercises deliberately.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["encode_update", "encode_updates", "decode_updates"]
+
+
+def encode_update(key: int, delta: int) -> np.ndarray:
+    """Encode ``f[key] += delta`` as ``|delta|`` signed unit elements."""
+    key = int(key)
+    delta = int(delta)
+    if key < 0:
+        raise ValueError("turnstile keys must be non-negative")
+    if delta == 0:
+        return np.empty(0, dtype=np.float64)
+    value = float(key) if delta > 0 else -float(key + 1)
+    return np.full(abs(delta), value, dtype=np.float64)
+
+def encode_updates(updates: Iterable[tuple[int, int]]) -> np.ndarray:
+    """Encode ``(key, delta)`` pairs into one flat unit-update batch."""
+    parts = [encode_update(key, delta) for key, delta in updates]
+    if not parts:
+        return np.empty(0, dtype=np.float64)
+    return np.concatenate(parts)
+
+
+def decode_updates(batch: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Decode a float batch into int64 ``(keys, deltas)`` unit updates.
+
+    Values are rounded to integers first (the fuzzer and codec only
+    emit integer-valued floats); negatives decode to deletions.
+    """
+    encoded = np.rint(np.asarray(batch, dtype=np.float64)).astype(np.int64)
+    negative = encoded < 0
+    keys = np.where(negative, -encoded - 1, encoded)
+    deltas = np.where(negative, np.int64(-1), np.int64(1))
+    return keys, deltas

@@ -17,6 +17,14 @@ truth computed from that window:
 * ``"quantile"`` -- decile probes; observed epsilon is the worst rank
   error of the synopsis's quantile answers within the window, the GK
   summary's native guarantee.
+* ``"window_count"`` -- for the counting backends of
+  :mod:`repro.counting`: against an exponential histogram, the worst
+  relative error of the windowed nonzero count and sum over the shadow
+  tail (size the shadow window at least as large as the synopsis's
+  window); against a CR-precis table, the worst point-query
+  overestimate as a fraction of the total mass decoded from the shadow
+  window (a recent-window proxy once the stream outgrows the shadow,
+  like the whole-prefix modes).
 
 For whole-prefix backends (GK, reservoir, equi-depth) the shadow window
 is exact ground truth only while it still covers the entire stream;
@@ -37,13 +45,16 @@ import numpy as np
 
 from ..core.bucket import Histogram
 from ..core.optimal import optimal_error
+from ..counting.cr_precis import CRPrecis
+from ..counting.eh import ExponentialHistogram
+from ..counting.encoding import decode_updates
 from ..query.queries import synopsis_quantile
 from ..streams.window import SlidingWindow
 from .metrics import MetricsRegistry
 
 __all__ = ["AccuracyMonitor", "AccuracyReport"]
 
-MODES = ("auto", "sse", "range_sum", "quantile")
+MODES = ("auto", "sse", "range_sum", "quantile", "window_count")
 
 OBSERVED_EPSILON_METRIC = "repro_observed_epsilon"
 CHECKS_METRIC = "repro_accuracy_checks_total"
@@ -198,6 +209,8 @@ class AccuracyMonitor:
             observed = self._observed_sse_epsilon(synopsis, values)
         elif mode == "range_sum":
             observed = self._observed_range_sum_epsilon(synopsis, values)
+        elif mode == "window_count":
+            observed = self._observed_window_count_epsilon(synopsis, values)
         else:
             observed = self._observed_quantile_epsilon(synopsis, values)
         report = AccuracyReport(
@@ -225,6 +238,8 @@ class AccuracyMonitor:
             return self.mode
         if isinstance(synopsis, Histogram):
             return "sse"
+        if isinstance(synopsis, (ExponentialHistogram, CRPrecis)):
+            return "window_count"
         if getattr(synopsis, "range_sum", None) is not None:
             return "range_sum"
         return "quantile"
@@ -256,6 +271,33 @@ class AccuracyMonitor:
             # Relative to the exact answer, floored at one average point
             # so near-zero sums do not explode the ratio.
             worst = max(worst, abs(approx - exact) / max(abs(exact), scale))
+        return worst
+
+    def _observed_window_count_epsilon(self, synopsis, values) -> float:
+        if values.size == 0:
+            return 0.0
+        if isinstance(synopsis, ExponentialHistogram):
+            tail = np.rint(values[-synopsis.window :]).astype(np.int64)
+            exact_nonzero = float(np.count_nonzero(tail))
+            exact_sum = float(tail.sum())
+            count_error = abs(synopsis.nonzero_count() - exact_nonzero) / max(
+                exact_nonzero, 1.0
+            )
+            sum_error = abs(synopsis.window_sum() - exact_sum) / max(
+                exact_sum, 1.0
+            )
+            return max(count_error, sum_error)
+        # CR-precis: worst point-query overestimate over the keys decoded
+        # from the shadow window, as a fraction of the total mass.
+        keys, deltas = decode_updates(values)
+        frequencies: dict[int, int] = {}
+        for key, delta in zip(keys.tolist(), deltas.tolist()):
+            frequencies[key] = frequencies.get(key, 0) + delta
+        mass = float(max(synopsis.l1(), 1))
+        worst = 0.0
+        for key, count in frequencies.items():
+            served = synopsis.point_query(key)
+            worst = max(worst, (served - count) / mass)
         return worst
 
     def _observed_quantile_epsilon(self, synopsis, values) -> float:

@@ -19,7 +19,7 @@ from .adapters import (
     ReservoirMaintainer,
     WaveletWindowMaintainer,
 )
-from .maintainer import Maintainer, MaintainerStats
+from .maintainer import Maintainer, MaintainerStats, UpdateMaintainer
 from .pipeline import PipelineReport, StreamPipeline
 from .registry import available_maintainers, make_maintainer, register_maintainer
 
@@ -37,6 +37,7 @@ __all__ = [
     "PipelineReport",
     "ReservoirMaintainer",
     "StreamPipeline",
+    "UpdateMaintainer",
     "WaveletWindowMaintainer",
     "available_maintainers",
     "make_maintainer",

@@ -38,7 +38,7 @@ import numpy as np
 
 from ..core.prefix import as_stream_batch
 
-__all__ = ["Maintainer", "MaintainerStats"]
+__all__ = ["Maintainer", "MaintainerStats", "UpdateMaintainer"]
 
 
 @dataclass
@@ -220,3 +220,36 @@ class Maintainer(ABC):
 
     def _refresh_stats(self) -> None:
         """Pull backend-specific counters into ``self._stats``."""
+
+
+class UpdateMaintainer(Maintainer):
+    """Maintainer that additionally speaks the turnstile update model.
+
+    ``update(key, delta)`` adjusts the frequency of a non-negative
+    integer key by a signed amount; it coexists with ``extend``, which
+    keeps carrying float batches (turnstile backends decode the
+    signed-unit encoding of :mod:`repro.counting.encoding` there, so
+    one ingestion channel serves queues, snapshots, and shard frames
+    unchanged).  ``points`` advances by ``|delta|`` -- one unit update
+    per frequency unit, mirroring what the same change costs when it
+    travels encoded through ``extend``.
+    """
+
+    def update(self, key: int, delta: int) -> None:
+        """Apply ``f[key] += delta`` (``delta`` may be negative)."""
+        delta = int(delta)
+        if delta == 0:
+            return
+        started = time.perf_counter()
+        self._update(int(key), delta)
+        self._stats.ingest_seconds += time.perf_counter() - started
+        self._stats.points += abs(delta)
+        self._stats.batches += 1
+
+    @abstractmethod
+    def _update(self, key: int, delta: int) -> None:
+        """Apply one validated turnstile update to the backend.
+
+        Same exception-safety contract as ``_ingest_batch``: validate
+        before mutating.
+        """

@@ -84,6 +84,20 @@ def available_maintainers() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def _eh_count_factory(**kwargs) -> Maintainer:
+    # Imported lazily: repro.counting depends on repro.runtime.maintainer,
+    # so a module-level import here would be circular.
+    from ..counting.adapters import EHCountMaintainer
+
+    return EHCountMaintainer(**kwargs)
+
+
+def _cr_precis_factory(**kwargs) -> Maintainer:
+    from ..counting.adapters import CRPrecisMaintainer
+
+    return CRPrecisMaintainer(**kwargs)
+
+
 register_maintainer("fixed_window", FixedWindowMaintainer)
 register_maintainer("agglomerative", AgglomerativeMaintainer)
 register_maintainer("wavelet", WaveletWindowMaintainer)
@@ -92,3 +106,5 @@ register_maintainer("gk_quantiles", GKQuantileMaintainer)
 register_maintainer("equi_depth", EquiDepthMaintainer)
 register_maintainer("reservoir", ReservoirMaintainer)
 register_maintainer("exact", ExactBufferMaintainer)
+register_maintainer("eh_count", _eh_count_factory)
+register_maintainer("cr_precis", _cr_precis_factory)

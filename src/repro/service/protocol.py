@@ -72,6 +72,14 @@ class ServiceProtocol(Protocol):
         """Wait until queued points are ingested (one stream or all)."""
         ...
 
+    def update(self, name: str, key: int, delta: int = 1) -> int:
+        """Turnstile update ``f[key] += delta`` (encoded unit points)."""
+        ...
+
+    def update_many(self, name: str, updates) -> int:
+        """Apply ``(key, delta)`` turnstile updates as one batch."""
+        ...
+
     # -- queries --------------------------------------------------------
 
     def range_sum(self, name: str, start: int, end: int) -> float:

@@ -42,6 +42,7 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Iterable
 
+from ..counting.encoding import encode_update, encode_updates
 from ..obs.accuracy import AccuracyMonitor
 from ..obs.export import to_prometheus_text, write_jsonl
 from ..obs.metrics import MetricsRegistry
@@ -360,6 +361,27 @@ class StreamService:
                         "repro_checkpoint_errors_total", stream=name
                     ).inc()
         return accepted
+
+    def update(self, name: str, key: int, delta: int = 1) -> int:
+        """Turnstile update ``f[key] += delta`` on a stream.
+
+        The update is encoded as ``|delta|`` signed unit points (see
+        :mod:`repro.counting.encoding`) and rides the ordinary ingest
+        path, so backpressure, checkpoints, replay, and sharding all
+        apply unchanged.  Turnstile backends (``cr_precis``) decode
+        deletions; insert-only backends quarantine them as poison.
+        """
+        batch = encode_update(key, delta)
+        if batch.size == 0:
+            return 0
+        return self.ingest(name, batch)
+
+    def update_many(self, name: str, updates) -> int:
+        """Apply ``(key, delta)`` turnstile updates as one batch."""
+        batch = encode_updates(updates)
+        if batch.size == 0:
+            return 0
+        return self.ingest(name, batch)
 
     def flush(self, name: str | None = None, timeout: float | None = None) -> bool:
         """Wait until queued points are ingested (one stream or all).

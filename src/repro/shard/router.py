@@ -52,6 +52,7 @@ from dataclasses import replace
 from pathlib import Path
 
 from ..core.prefix import as_stream_batch
+from ..counting.encoding import encode_update, encode_updates
 from ..obs.export import samples_to_jsonl, samples_to_prometheus_text
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import SpanRecord
@@ -611,6 +612,25 @@ class ShardRouter:
             finally:
                 handle.checkpoint_pending = False
         return points
+
+    def update(self, name: str, key: int, delta: int = 1) -> int:
+        """Turnstile update ``f[key] += delta`` on a sharded stream.
+
+        Encoded as signed unit points (:mod:`repro.counting.encoding`)
+        and framed through the ordinary data plane, so ordering,
+        replay, and shard recovery apply unchanged.
+        """
+        batch = encode_update(key, delta)
+        if batch.size == 0:
+            return 0
+        return self.ingest(name, batch)
+
+    def update_many(self, name: str, updates) -> int:
+        """Apply ``(key, delta)`` turnstile updates as one batch."""
+        batch = encode_updates(updates)
+        if batch.size == 0:
+            return 0
+        return self.ingest(name, batch)
 
     def flush(self, name: str | None = None, timeout: float | None = None) -> bool:
         """Barrier + drain: every frame sent so far is fully ingested."""

@@ -14,13 +14,14 @@ The subsystem has three pillars:
 """
 
 from .differential import DifferentialChecker, DifferentialResult, observe
-from .fuzzer import PROFILES, StreamFuzzer
+from .fuzzer import PROFILES, SIGNED_PROFILES, StreamFuzzer
 from .oracles import Oracle, Violation, oracle_for
 from .runner import (
     GRID_BACKENDS,
     CertificationCase,
     CertificationReport,
     certify,
+    compatible_profiles,
     default_grid,
 )
 
@@ -32,9 +33,11 @@ __all__ = [
     "GRID_BACKENDS",
     "Oracle",
     "PROFILES",
+    "SIGNED_PROFILES",
     "StreamFuzzer",
     "Violation",
     "certify",
+    "compatible_profiles",
     "default_grid",
     "observe",
     "oracle_for",

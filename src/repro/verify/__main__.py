@@ -5,7 +5,7 @@ the differential checker and prints a certification report.  Exits
 non-zero if any backend violates its guarantee, so the command doubles
 as a CI gate::
 
-    python -m repro.verify --quick             # all 8 backends, < 2 min
+    python -m repro.verify --quick             # every registry backend, < 2 min
     python -m repro.verify                     # full profile/param sweep
     python -m repro.verify --backend wavelet --profile spike --points 4096
     python -m repro.verify --quick --out report.json
@@ -29,7 +29,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="baseline config per backend over two profiles (CI gate)",
+        help="baseline config per backend over the quick profile set (CI gate)",
     )
     parser.add_argument(
         "--backend",

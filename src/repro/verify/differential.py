@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.bucket import Histogram
+from ..counting.cr_precis import CRPrecis
+from ..counting.eh import ExponentialHistogram
 from ..runtime.adapters import BufferSynopsis
 from ..runtime.registry import make_maintainer
 from ..sketches.gk import GKQuantileSummary
@@ -82,6 +84,12 @@ def observe(maintainer) -> dict:
         rendered = {"kind": "reservoir", "state": synopsis.to_dict()}
     elif isinstance(synopsis, BufferSynopsis):
         rendered = {"kind": "buffer", "values": synopsis.to_array().tolist()}
+    elif isinstance(synopsis, ExponentialHistogram):
+        # The full bucket state (not just the estimates): chunking or a
+        # restore that perturbed any bank must be visible.
+        rendered = {"kind": "eh_count", "state": synopsis.to_dict()}
+    elif isinstance(synopsis, CRPrecis):
+        rendered = {"kind": "cr_precis", "state": synopsis.to_dict()}
     else:  # pragma: no cover - new backend without an observation rule
         raise TypeError(
             f"no observation rule for synopsis type {type(synopsis).__name__}"

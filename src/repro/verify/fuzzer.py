@@ -20,17 +20,38 @@ noise (many near-ties in the DP), ``zipf`` categorical skew (the
 warehouse workload), ``sorted`` monotone ramps (adversarial for GK
 summary compression), ``spike`` flat base with rare huge outliers
 (adversarial for SSE -- one misplaced bucket boundary is catastrophic),
-and ``permutation`` streams where every value is distinct (adversarial
-for tie-breaking and rank logic).
+``permutation`` streams where every value is distinct (adversarial for
+tie-breaking and rank logic), ``expiry`` alternating bursts and long
+all-zero stretches (drives sliding-window synopses through complete
+window expiry), and ``turnstile`` signed unit updates with ~40%
+deletions in the :mod:`repro.counting.encoding` codec (strict
+turnstile: the fuzzer tracks live frequencies so no key ever goes
+negative).  ``turnstile`` is the one *signed* profile
+(:data:`SIGNED_PROFILES`); insert-only backends cannot ingest it.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["StreamFuzzer", "PROFILES"]
+__all__ = ["StreamFuzzer", "PROFILES", "SIGNED_PROFILES"]
 
-PROFILES = ("uniform", "zipf", "sorted", "spike", "permutation")
+PROFILES = (
+    "uniform",
+    "zipf",
+    "sorted",
+    "spike",
+    "permutation",
+    "expiry",
+    "turnstile",
+)
+
+#: Profiles that emit negative elements (encoded turnstile deletions);
+#: only turnstile-capable backends can ingest these.
+SIGNED_PROFILES = ("turnstile",)
+
+#: turnstile profile: probability that a point deletes a live key.
+_DELETE_PROB = 0.4
 
 #: Spike height cap: 1e5 squared, summed over thousands of points, stays
 #: well inside float64's exact-integer range (2^53).
@@ -77,6 +98,9 @@ class StreamFuzzer:
         self.clip_domain = clip_domain
         self._rng = np.random.default_rng(self.seed)
         self._emitted = 0
+        #: turnstile profile only: live frequencies, so deletions always
+        #: target a key with positive count (strict turnstile).
+        self._live: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Value generation
@@ -100,6 +124,15 @@ class StreamFuzzer:
             values[spikes] = rng.integers(
                 _SPIKE_HEIGHT // 2, _SPIKE_HEIGHT, size=int(spikes.sum())
             ).astype(np.float64)
+        elif self.profile == "expiry":
+            # Bursts of values separated by all-zero stretches longer
+            # than typical windows, so sliding-window structures expire
+            # completely and must return to exact zero.
+            index = np.arange(self._emitted, self._emitted + size)
+            values = rng.integers(0, self.high + 1, size=size).astype(np.float64)
+            values[(index % 160) < 96] = 0.0
+        elif self.profile == "turnstile":
+            return self._raw_turnstile(size)
         else:  # permutation: every value distinct within the chunk
             values = rng.permutation(size).astype(np.float64) + float(
                 self._emitted
@@ -107,6 +140,27 @@ class StreamFuzzer:
         if self.clip_domain is not None:
             values = np.minimum(values, float(self.clip_domain - 1))
         return np.maximum(values, 0.0)
+
+    def _raw_turnstile(self, size: int) -> np.ndarray:
+        """Signed unit updates: insert ``key`` as ``key``, delete as
+        ``-(key + 1)`` (the :mod:`repro.counting.encoding` codec)."""
+        rng = self._rng
+        values = np.empty(size, dtype=np.float64)
+        for index in range(size):
+            if self._live and rng.random() < _DELETE_PROB:
+                keys = sorted(self._live)
+                key = keys[int(rng.integers(len(keys)))]
+                values[index] = -float(key + 1)
+                count = self._live[key] - 1
+                if count:
+                    self._live[key] = count
+                else:
+                    del self._live[key]
+            else:
+                key = int(min(rng.zipf(1.4), self.high))
+                values[index] = float(key)
+                self._live[key] = self._live.get(key, 0) + 1
+        return values
 
     def take(self, size: int) -> np.ndarray:
         """The next ``size`` stream values as one float64 array."""

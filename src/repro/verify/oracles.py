@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.bucket import Histogram
 from ..core.optimal import optimal_error, optimal_error_table
+from ..counting.encoding import decode_updates
 from ..wavelets.haar import haar_inverse, haar_transform, next_power_of_two
 
 __all__ = [
@@ -43,6 +44,8 @@ __all__ = [
     "EquiDepthOracle",
     "ReservoirOracle",
     "ExactBufferOracle",
+    "EHCountOracle",
+    "CRPrecisOracle",
     "oracle_for",
 ]
 
@@ -777,6 +780,249 @@ class ExactBufferOracle(Oracle):
         return violations
 
 
+class EHCountOracle(Oracle):
+    """Sliding-window counting (Datar et al.) vs exact window tallies.
+
+    The sharpened exponential-histogram estimate carries an
+    *unconditional* eps-relative guarantee (see
+    :mod:`repro.counting.eh`), so the checks are strict: the exact
+    window length; eps-relative nonzero count and windowed sum
+    (including exact zero after full expiry); an eps-relative windowed
+    mean (exact denominator); and the composed variance bound
+    ``eps * m2 / L + (2 eps + eps^2) * mean^2``.
+    """
+
+    def __init__(self, window: int, epsilon: float, **_ignored) -> None:
+        super().__init__()
+        self.window_size = int(window)
+        self.epsilon = float(epsilon)
+
+    def check(self, maintainer) -> list[Violation]:
+        violations = self._check_points(maintainer)
+        synopsis = maintainer.synopsis()
+        window = np.rint(self.window(self.window_size)).astype(np.int64)
+        length = int(window.size)
+        if synopsis.window_count() != length:
+            violations.append(
+                Violation(
+                    "window-length",
+                    f"window_count() reported {synopsis.window_count()}, the "
+                    f"window holds exactly {length} arrivals",
+                    observed=float(synopsis.window_count()),
+                    bound=float(length),
+                )
+            )
+            return violations
+        if length == 0:
+            return violations
+        eps = self.epsilon
+        exact_nonzero = int(np.count_nonzero(window))
+        exact_sum = int(window.sum())
+        checks = (
+            ("nonzero-count", synopsis.nonzero_count(), float(exact_nonzero)),
+            ("window-sum", synopsis.window_sum(), float(exact_sum)),
+        )
+        for check, served, exact in checks:
+            allowance = eps * exact + RELATIVE_SLACK * (1.0 + exact)
+            if abs(served - exact) > allowance:
+                violations.append(
+                    Violation(
+                        check,
+                        f"windowed estimate missed the exact value by more "
+                        f"than eps = {eps:g} relative (window of {length})",
+                        observed=served,
+                        bound=exact,
+                    )
+                )
+        exact_mean = exact_sum / length
+        mean_allowance = eps * exact_mean + RELATIVE_SLACK * (1.0 + exact_mean)
+        if abs(synopsis.window_mean() - exact_mean) > mean_allowance:
+            violations.append(
+                Violation(
+                    "window-mean",
+                    "windowed mean missed the exact mean by more than eps "
+                    "relative (the denominator is exact)",
+                    observed=synopsis.window_mean(),
+                    bound=exact_mean,
+                )
+            )
+        exact_m2 = float((window.astype(np.float64) ** 2).sum())
+        exact_variance = exact_m2 / length - exact_mean * exact_mean
+        variance_allowance = (
+            eps * exact_m2 / length
+            + (2.0 * eps + eps * eps) * exact_mean * exact_mean
+            + RELATIVE_SLACK * (1.0 + abs(exact_variance))
+        )
+        if abs(synopsis.window_variance() - exact_variance) > variance_allowance:
+            violations.append(
+                Violation(
+                    "window-variance",
+                    "windowed variance broke the composed moment bound "
+                    "eps*m2/L + (2eps + eps^2)*mean^2",
+                    observed=synopsis.window_variance(),
+                    bound=exact_variance,
+                )
+            )
+        return violations
+
+
+class CRPrecisOracle(Oracle):
+    """CR-precis vs an exact frequency vector -- deterministic bounds.
+
+    The oracle decodes the signed-unit turnstile stream into exact
+    frequencies and demands: the table *equals* a from-scratch
+    recomputation (the structure is deterministic, so anything else is
+    a divergence, not an approximation); ``l1()`` is exact; every
+    probed point query never underestimates and overestimates by at
+    most ``(||f||_1 - f_x) * e / t`` (the CRT collision bound); heavy
+    hitters admit no false negatives; range counts obey the summed
+    per-key bound.
+    """
+
+    #: Heavy-hitter threshold fraction probed at every check.
+    HEAVY_PHI = 0.05
+
+    def __init__(self, rows: int, base: int, domain: int, **_ignored) -> None:
+        super().__init__()
+        self.rows = int(rows)
+        self.base = int(base)
+        self.domain = int(domain)
+        self._frequencies: Counter = Counter()
+
+    def extend(self, batch) -> None:
+        array = np.asarray(batch, dtype=np.float64)
+        super().extend(array)
+        if array.size:
+            keys, deltas = decode_updates(array)
+            for key, delta in zip(keys.tolist(), deltas.tolist()):
+                self._frequencies[key] += delta
+                if self._frequencies[key] == 0:
+                    del self._frequencies[key]
+
+    def _probe_keys(self) -> list[int]:
+        """A deterministic probe set: the heaviest keys, the lightest,
+        and a few absent ones."""
+        by_weight = sorted(
+            self._frequencies, key=lambda key: (-self._frequencies[key], key)
+        )
+        probes = by_weight[:8] + by_weight[-4:]
+        absent = 0
+        while len(probes) < 16 and absent < self.domain:
+            if absent not in self._frequencies:
+                probes.append(absent)
+            absent += 1
+        return sorted(set(probes))
+
+    def check(self, maintainer) -> list[Violation]:
+        violations = self._check_points(maintainer)
+        synopsis = maintainer.synopsis()
+        if min(self._frequencies.values(), default=0) < 0:
+            raise AssertionError(
+                "turnstile fuzz stream drove a frequency negative; the "
+                "strict-turnstile profile is broken"
+            )
+        expected_tables = [
+            np.zeros(prime, dtype=np.int64) for prime in synopsis.primes
+        ]
+        for key, count in self._frequencies.items():
+            for prime, table in zip(synopsis.primes, expected_tables):
+                table[key % prime] += count
+        for prime, expected, actual in zip(
+            synopsis.primes, expected_tables, synopsis.tables
+        ):
+            if not np.array_equal(expected, actual):
+                violations.append(
+                    Violation(
+                        "table-divergence",
+                        f"row mod {prime} diverged from the exact "
+                        "recomputation (CR-precis is deterministic)",
+                    )
+                )
+                return violations
+        exact_l1 = sum(self._frequencies.values())
+        if synopsis.l1() != exact_l1:
+            violations.append(
+                Violation(
+                    "l1-exactness",
+                    f"l1() reported {synopsis.l1()}, exact mass is {exact_l1}",
+                    observed=float(synopsis.l1()),
+                    bound=float(exact_l1),
+                )
+            )
+            return violations
+        exponent = synopsis.error_exponent()
+        for key in self._probe_keys():
+            exact = self._frequencies.get(key, 0)
+            served = synopsis.point_query(key)
+            bound = (exact_l1 - exact) * exponent / self.rows
+            if served < exact:
+                violations.append(
+                    Violation(
+                        "point-underestimate",
+                        f"point_query({key}) underestimated the true "
+                        "frequency (impossible in the strict turnstile model)",
+                        observed=float(served),
+                        bound=float(exact),
+                    )
+                )
+                break
+            if served - exact > bound + RELATIVE_SLACK * (1.0 + bound):
+                violations.append(
+                    Violation(
+                        "point-overestimate",
+                        f"point_query({key}) overestimated beyond the CRT "
+                        f"bound (||f||_1 - f_x) * {exponent} / {self.rows}",
+                        observed=float(served - exact),
+                        bound=bound,
+                    )
+                )
+                break
+        if exact_l1 > 0:
+            reported = synopsis.heavy_hitters(self.HEAVY_PHI)
+            threshold = max(1.0, self.HEAVY_PHI * exact_l1)
+            for key, count in self._frequencies.items():
+                if count >= threshold and key not in reported:
+                    violations.append(
+                        Violation(
+                            "heavy-hitter-miss",
+                            f"key {key} has frequency {count} >= "
+                            f"{threshold:g} but was not reported (false "
+                            "negatives are impossible)",
+                            observed=float(count),
+                            bound=threshold,
+                        )
+                    )
+                    break
+        if self._frequencies:
+            anchor = sorted(self._frequencies)[len(self._frequencies) // 2]
+            low = max(0, anchor - 16)
+            high = min(self.domain - 1, anchor + 16)
+            exact_range = sum(
+                count
+                for key, count in self._frequencies.items()
+                if low <= key <= high
+            )
+            served_range = synopsis.range_count(low, high)
+            range_bound = sum(
+                (exact_l1 - self._frequencies.get(key, 0)) * exponent / self.rows
+                for key in range(low, high + 1)
+            )
+            if served_range < exact_range or (
+                served_range - exact_range
+                > range_bound + RELATIVE_SLACK * (1.0 + range_bound)
+            ):
+                violations.append(
+                    Violation(
+                        "range-count",
+                        f"range_count({low}, {high}) left the "
+                        "[exact, exact + summed CRT bound] band",
+                        observed=float(served_range),
+                        bound=float(exact_range),
+                    )
+                )
+        return violations
+
+
 #: Registry backend name -> oracle class; constructor parameters mirror
 #: the registry factory's (extra keywords are ignored, so a maintainer
 #: spec's params dict can be forwarded wholesale).
@@ -789,6 +1035,8 @@ _ORACLES: dict[str, type[Oracle]] = {
     "equi_depth": EquiDepthOracle,
     "reservoir": ReservoirOracle,
     "exact": ExactBufferOracle,
+    "eh_count": EHCountOracle,
+    "cr_precis": CRPrecisOracle,
 }
 
 

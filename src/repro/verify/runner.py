@@ -17,13 +17,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..runtime.registry import available_maintainers
 from .differential import DifferentialChecker, DifferentialResult
-from .fuzzer import PROFILES
+from .fuzzer import PROFILES, SIGNED_PROFILES
 
 __all__ = [
     "CertificationCase",
     "CertificationReport",
     "certify",
+    "compatible_profiles",
     "default_grid",
     "GRID_BACKENDS",
 ]
@@ -40,7 +42,32 @@ GRID_BACKENDS: dict[str, dict] = {
     "equi_depth": dict(num_buckets=8, epsilon=0.05),
     "reservoir": dict(capacity=32),
     "exact": dict(window_size=64),
+    "eh_count": dict(window=64, epsilon=0.25),
+    "cr_precis": dict(rows=5, base=23, domain=131072),
 }
+
+#: Backends that ingest the signed turnstile encoding; every other
+#: backend is insert-only and cannot consume :data:`SIGNED_PROFILES`.
+TURNSTILE_BACKENDS = frozenset({"cr_precis"})
+
+#: Extra quick-gate profiles per backend, on top of the shared pair:
+#: the new scenario classes each get their dedicated adversarial
+#: profile in the CI gate (window expiry; deletions).
+_QUICK_EXTRA_PROFILES: dict[str, tuple[str, ...]] = {
+    "eh_count": ("expiry",),
+    "cr_precis": ("turnstile",),
+}
+
+
+def compatible_profiles(backend: str) -> tuple[str, ...]:
+    """The fuzz profiles ``backend`` can ingest.
+
+    Signed profiles (turnstile deletions) only apply to turnstile
+    backends; everything else takes every non-signed profile.
+    """
+    if backend in TURNSTILE_BACKENDS:
+        return PROFILES
+    return tuple(p for p in PROFILES if p not in SIGNED_PROFILES)
 
 #: (epsilon, num_buckets, window_size) variations for the approximation
 #: backends in the full sweep.
@@ -140,26 +167,52 @@ def default_grid(
     """The standard certification grid.
 
     ``quick`` runs every backend's baseline configuration over two
-    complementary profiles (uniform noise and adversarial spikes) --
-    sized to certify all 8 backends in well under two minutes.  The full
-    grid sweeps all profiles and adds (eps, B, window) variants for the
-    approximation backends.
+    complementary profiles (uniform noise and adversarial spikes), plus
+    each new scenario class's dedicated profile (window ``expiry`` for
+    ``eh_count``, signed ``turnstile`` deletions for ``cr_precis``) --
+    sized to certify every registered backend in well under two
+    minutes.  The full grid sweeps every profile a backend can ingest
+    and adds (eps, B, window) variants for the approximation backends.
+
+    The grid is validated against the live registry: a registered
+    maintainer without a ``GRID_BACKENDS`` entry fails loudly here
+    instead of silently escaping certification, and the unknown-backend
+    error lists the registry's names.
     """
-    chosen_backends = backends or sorted(GRID_BACKENDS)
+    registered = available_maintainers()
+    missing = sorted(set(registered) - set(GRID_BACKENDS))
+    if missing:
+        raise RuntimeError(
+            f"registered maintainers missing from GRID_BACKENDS: "
+            f"{', '.join(missing)}; every registry backend must carry "
+            "baseline certification parameters"
+        )
+    chosen_backends = backends or registered
     for backend in chosen_backends:
         if backend not in GRID_BACKENDS:
-            known = ", ".join(sorted(GRID_BACKENDS))
+            known = ", ".join(sorted(set(registered) | set(GRID_BACKENDS)))
             raise KeyError(f"unknown backend {backend!r}; available: {known}")
-    chosen_profiles = profiles or (
-        ["uniform", "spike"] if quick else list(PROFILES)
-    )
-    for profile in chosen_profiles:
-        if profile not in PROFILES:
-            raise KeyError(
-                f"unknown profile {profile!r}; available: {', '.join(PROFILES)}"
-            )
+    if profiles:
+        for profile in profiles:
+            if profile not in PROFILES:
+                raise KeyError(
+                    f"unknown profile {profile!r}; available: "
+                    f"{', '.join(PROFILES)}"
+                )
     cases = []
     for backend in chosen_backends:
+        allowed = compatible_profiles(backend)
+        if profiles:
+            # Explicit profile selection: run each backend over the
+            # requested profiles it can ingest (an insert-only backend
+            # silently skips the signed turnstile profile).
+            chosen_profiles = [p for p in profiles if p in allowed]
+        elif quick:
+            chosen_profiles = ["uniform", "spike"] + list(
+                _QUICK_EXTRA_PROFILES.get(backend, ())
+            )
+        else:
+            chosen_profiles = list(allowed)
         variants = [GRID_BACKENDS[backend]]
         if not quick:
             variants = _FULL_VARIANTS.get(backend, variants)
@@ -174,6 +227,11 @@ def default_grid(
                         seed=seed + variant_index,
                     )
                 )
+    if not cases:
+        raise ValueError(
+            "selection produced no cases (the requested profiles are "
+            "incompatible with the requested backends)"
+        )
     return cases
 
 

@@ -56,6 +56,8 @@ BACKEND_PARAMS: dict[str, dict] = {
     "equi_depth": dict(num_buckets=8),
     "reservoir": dict(capacity=32),
     "exact": dict(window_size=64),
+    "eh_count": dict(window=64, epsilon=0.25),
+    "cr_precis": dict(rows=5, base=23, domain=131072),
 }
 
 

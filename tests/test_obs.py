@@ -525,8 +525,18 @@ class _GatedMaintainer(Maintainer):
         return list(self._values)
 
 
-if "obs_gated" not in available_maintainers():
-    register_maintainer("obs_gated", _GatedMaintainer)
+@pytest.fixture(autouse=True, scope="module")
+def _obs_gated_backend():
+    """Register the test-only gated backend for this module, then remove
+    it again: ``repro.verify`` now fails loudly on any registered
+    maintainer without certification parameters, so a leaked test
+    registration would poison the verify suite."""
+    from repro.runtime.registry import _REGISTRY
+
+    if "obs_gated" not in available_maintainers():
+        register_maintainer("obs_gated", _GatedMaintainer)
+    yield
+    _REGISTRY.pop("obs_gated", None)
 
 
 class TestDegradedPromotion:

@@ -26,9 +26,11 @@ from repro.sketches.gk import GKQuantileSummary
 from repro.verify import (
     GRID_BACKENDS,
     PROFILES,
+    SIGNED_PROFILES,
     DifferentialChecker,
     StreamFuzzer,
     certify,
+    compatible_profiles,
     default_grid,
     observe,
     oracle_for,
@@ -48,12 +50,51 @@ class TestStreamFuzzer:
         for a, b in zip(first, second):
             assert np.array_equal(a, b)
 
-    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize(
+        "profile", [p for p in PROFILES if p not in SIGNED_PROFILES]
+    )
     def test_profiles_emit_nonnegative_integers(self, profile):
         values = StreamFuzzer(profile, 3).take(500)
         assert values.dtype == np.float64
         assert float(values.min()) >= 0.0
         assert np.array_equal(values, np.rint(values))
+
+    @pytest.mark.parametrize("profile", SIGNED_PROFILES)
+    def test_signed_profiles_are_deterministic(self, profile):
+        first = StreamFuzzer(profile, 13).take(600)
+        second = StreamFuzzer(profile, 13).take(600)
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, np.rint(first))
+
+    def test_turnstile_profile_is_a_strict_turnstile(self):
+        """Deletions only ever target live keys: decoded frequencies must
+        stay non-negative at every prefix, and a healthy fraction of
+        updates must actually be deletions."""
+        from collections import Counter
+
+        from repro.counting.encoding import decode_updates
+
+        values = StreamFuzzer("turnstile", 9).take(2000)
+        keys, deltas = decode_updates(values)
+        live: Counter = Counter()
+        for key, delta in zip(keys.tolist(), deltas.tolist()):
+            live[key] += delta
+            assert live[key] >= 0
+        deletions = int((deltas < 0).sum())
+        assert 0.2 <= deletions / values.size <= 0.5
+
+    def test_expiry_profile_has_long_quiet_stretches(self):
+        values = StreamFuzzer("expiry", 5).take(2000)
+        zero_runs = []
+        run = 0
+        for v in values.tolist():
+            if v == 0.0:
+                run += 1
+            else:
+                if run:
+                    zero_runs.append(run)
+                run = 0
+        assert max(zero_runs, default=0) >= 90
 
     def test_clip_domain_respected(self):
         fuzzer = StreamFuzzer("spike", 1, clip_domain=64)
@@ -120,6 +161,31 @@ class TestDifferentialSweep:
         assert {case.backend for case in cases} == set(GRID_BACKENDS)
         with pytest.raises(KeyError):
             default_grid(backends=["no_such_backend"])
+
+    def test_grid_fails_loudly_when_registry_outgrows_it(self):
+        """Registering a backend without adding certification params to
+        GRID_BACKENDS must break the default grid, not silently skip."""
+        import repro.verify.runner as runner
+
+        registered = list(runner.available_maintainers()) + ["brand_new"]
+        with mock.patch.object(
+            runner, "available_maintainers", lambda: registered
+        ):
+            with pytest.raises(RuntimeError, match="brand_new"):
+                runner.default_grid(quick=True)
+
+    def test_signed_profiles_only_reach_turnstile_backends(self):
+        from repro.verify.runner import TURNSTILE_BACKENDS
+
+        for backend in GRID_BACKENDS:
+            allowed = compatible_profiles(backend)
+            if backend in TURNSTILE_BACKENDS:
+                assert set(SIGNED_PROFILES) <= set(allowed)
+            else:
+                assert not set(SIGNED_PROFILES) & set(allowed)
+        for case in default_grid():
+            if case.profile in SIGNED_PROFILES:
+                assert case.backend in TURNSTILE_BACKENDS
 
 
 class TestInjectedBugsAreCaught:
@@ -206,7 +272,7 @@ class TestCommandLine:
         code = verify_main(["--list", "--quick"])
         assert code == 0
         out = capsys.readouterr().out
-        assert "16 cases" in out
+        assert "22 cases" in out
 
     def test_rejects_bad_points(self, capsys):
         assert verify_main(["--points", "0"]) == 2
