@@ -1,0 +1,196 @@
+"""Mixed-priority overload storm: goodput, shed mass and latency by class.
+
+Drives the threaded service with QoS enabled into a deliberate 2x
+overload: a bronze (priority 2, sheddable) stream is offered twice the
+gold (priority 0) volume while its worker is slowed by a seeded
+:class:`FaultInjector`, so the degradation ladder must escalate.
+Recorded per priority class:
+
+* offered vs admitted points and the shed mass (every dropped point is
+  accounted -- the sum must reconcile);
+* goodput (admitted points/second over the storm);
+* p50 / p99 enqueue latency (gold must stay flat while bronze saturates);
+* the stream's effective epsilon after the storm (bronze widens
+  honestly, gold must stay within its configured bound).
+
+Plus the storm itself: worst ladder level reached, level transition
+counts, and the time from end-of-storm to the ladder walking back to
+``healthy``.
+
+This is a capacity characterization, not a regression gate: the section
+merges into the committed ``BENCH_service.json`` under ``"overload"``
+(like ``bench_counting.py``'s section) and CI uploads it without
+comparing.
+
+Standalone:  ``PYTHONPATH=src python benchmarks/bench_overload.py``
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.datasets import att_utilization_stream
+from repro.service import FaultInjector, QoSConfig, QoSController, StreamService
+from repro.service.qos import DEGRADATION_LEVELS, TRANSITIONS_METRIC
+
+GOLD_POINTS = 20_000
+BRONZE_POINTS = 40_000  # 2x the gold offer, into a slowed worker
+CHUNK = 256
+BACKEND = "gk_quantiles"
+PARAMS = {"epsilon": 0.05}
+ACCURACY = {"epsilon": 0.25, "window_size": 512, "check_every": 256}
+
+#: Seeded slowdown of the bronze worker: deterministic overload.
+SLOW_SECONDS = 0.004
+SLOW_TIMES = 400
+
+QOS = QoSConfig(
+    evaluate_every=1,
+    cooldown=2,
+    shed_fraction=0.5,
+    throttle_fill=0.2,
+    shed_fill=0.35,
+    stale_fill=0.99,
+    throttle_latency=10.0,
+    shed_latency=20.0,
+    stale_latency=30.0,
+)
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+
+def _priority_row(service, snapshot, name: str, offered: int,
+                  seconds: float) -> dict:
+    stats = service.stats(name)
+    stream = snapshot["streams"][name]
+    accuracy = service.accuracy(name)
+    admitted = int(stats["arrivals"])
+    return {
+        "stream": name,
+        "priority": stream["priority"],
+        "sheddable": stream["sheddable"],
+        "offered_points": offered,
+        "admitted_points": admitted,
+        "shed_points": stream["shed_points"],
+        "goodput_points_per_second": admitted / seconds,
+        "enqueue_p50_seconds": stats["enqueue_p50_seconds"],
+        "enqueue_p99_seconds": stats["enqueue_p99_seconds"],
+        "effective_epsilon": accuracy["effective_epsilon"],
+        "configured_epsilon": accuracy["configured_epsilon"],
+        "accuracy_violations": accuracy["violations"],
+    }
+
+
+def run_storm() -> dict:
+    gold = att_utilization_stream(GOLD_POINTS, seed=7)
+    bronze = att_utilization_stream(BRONZE_POINTS, seed=8)
+    ctrl = QoSController(QOS)
+    injector = FaultInjector().slow_ingest_at(
+        1, SLOW_SECONDS, stream="bronze", times=SLOW_TIMES
+    )
+    with StreamService(qos=ctrl, fault_injector=injector) as service:
+        service.create_stream(
+            "gold", backend=BACKEND, params=PARAMS, maintain_every=64,
+            priority=0, accuracy=dict(ACCURACY),
+        )
+        service.create_stream(
+            "bronze", backend=BACKEND, params=PARAMS, maintain_every=64,
+            priority=2, queue_capacity=512, backpressure="drop_oldest",
+            accuracy=dict(ACCURACY),
+        )
+
+        worst = [0]
+
+        def produce_bronze() -> None:
+            for start in range(0, BRONZE_POINTS, CHUNK):
+                service.ingest("bronze", bronze[start : start + CHUNK])
+                worst[0] = max(worst[0], ctrl.level)
+
+        producer = threading.Thread(target=produce_bronze)
+        started = time.perf_counter()
+        producer.start()
+        for start in range(0, GOLD_POINTS, CHUNK):
+            service.ingest("gold", gold[start : start + CHUNK])
+            worst[0] = max(worst[0], ctrl.level)
+        producer.join()
+        service.flush()
+        storm_seconds = time.perf_counter() - started
+
+        recovery_started = time.perf_counter()
+        deadline = recovery_started + 30.0
+        while time.perf_counter() < deadline:
+            if service.qos()["level"] == "healthy":
+                break
+            time.sleep(0.01)
+        recovery_seconds = time.perf_counter() - recovery_started
+
+        snapshot = service.qos()
+        transitions = {
+            sample["labels"]["level"]: sample["value"]
+            for sample in service.metrics()
+            if sample["name"] == TRANSITIONS_METRIC
+        }
+        rows = {
+            "gold": _priority_row(
+                service, snapshot, "gold", GOLD_POINTS, storm_seconds
+            ),
+            "bronze": _priority_row(
+                service, snapshot, "bronze", BRONZE_POINTS, storm_seconds
+            ),
+        }
+        for row in rows.values():
+            print(
+                f"{row['stream']:>6} (priority {row['priority']}): "
+                f"{row['goodput_points_per_second']:>11,.0f} points/s "
+                f"goodput, shed {row['shed_points']:>6,} of "
+                f"{row['offered_points']:,} offered, "
+                f"p99 enqueue {row['enqueue_p99_seconds'] * 1e6:8.1f} us"
+            )
+        print(
+            f"ladder peaked at {DEGRADATION_LEVELS[worst[0]]!r}, "
+            f"back to healthy {recovery_seconds * 1e3:.0f} ms after the storm"
+        )
+        return {
+            "storm_seconds": storm_seconds,
+            "ladder_level_max": DEGRADATION_LEVELS[worst[0]],
+            "ladder_transitions": transitions,
+            "recovered_to_healthy_seconds": recovery_seconds,
+            "final_level": snapshot["level"],
+            "total_admitted_points": snapshot["admitted_points"],
+            "total_shed_points": snapshot["shed_points"],
+            "per_priority": rows,
+        }
+
+
+def main(output_path: str | Path = DEFAULT_OUTPUT) -> dict:
+    section = {
+        "backend": BACKEND,
+        "params": PARAMS,
+        "chunk": CHUNK,
+        "slow_seconds": SLOW_SECONDS,
+        "slow_times": SLOW_TIMES,
+        "qos": QOS.to_dict(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        **run_storm(),
+    }
+    output_path = Path(output_path)
+    payload = {}
+    if output_path.exists():
+        with open(output_path) as handle:
+            payload = json.load(handle)
+    payload["overload"] = section
+    with open(output_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"merged overload section into {output_path}")
+    return section
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])

@@ -332,14 +332,19 @@ def _previous_pps(baseline: dict) -> dict:
 
 def main(output_path: str = "BENCH_service.json") -> dict:
     previous = {}
-    counting_section = None
+    merged_sections = {}
     if Path(output_path).exists():
         with open(output_path) as handle:
             committed = json.load(handle)
         previous = _previous_pps(committed)
-        # bench_counting.py merges its (non-gated) section into the same
-        # file; a fresh service run must not silently drop it.
-        counting_section = committed.get("counting")
+        # bench_counting.py / bench_overload.py merge their (non-gated)
+        # sections into the same file; a fresh service run must not
+        # silently drop them.
+        merged_sections = {
+            key: committed[key]
+            for key in ("counting", "overload")
+            if key in committed
+        }
     results = []
     for num_streams in STREAM_COUNTS:
         result = run_fleet(num_streams)
@@ -397,8 +402,7 @@ def main(output_path: str = "BENCH_service.json") -> dict:
         "comparison": comparison,
         "recovery": recovery,
     }
-    if counting_section is not None:
-        payload["counting"] = counting_section
+    payload.update(merged_sections)
     with open(output_path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

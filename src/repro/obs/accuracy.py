@@ -38,6 +38,7 @@ attached, in ``repro_observed_epsilon`` / ``repro_accuracy_checks_total``
 from __future__ import annotations
 
 import bisect
+import threading
 from collections import deque
 from dataclasses import dataclass
 
@@ -66,17 +67,32 @@ QUANTILE_PROBES = tuple(np.linspace(0.1, 0.9, 9))
 
 @dataclass(frozen=True)
 class AccuracyReport:
-    """Outcome of one accuracy check."""
+    """Outcome of one accuracy check.
+
+    ``shed_points`` / ``shed_fraction`` account QoS-shed mass (see
+    :mod:`repro.service.qos`): points the admission layer dropped never
+    reach the synopsis *or* the shadow window, so the comparison alone
+    would under-report the error of the thinned stream.  The effective
+    epsilon is widened by the shed fraction and ``within_bound`` judges
+    the widened figure -- degradation stays honest in the report.
+    """
 
     arrivals: int
     mode: str
     observed_epsilon: float
     configured_epsilon: float
     window_points: int
+    shed_points: int = 0
+    shed_fraction: float = 0.0
+
+    @property
+    def effective_epsilon(self) -> float:
+        """Observed epsilon widened by the shed mass fraction."""
+        return self.observed_epsilon + self.shed_fraction
 
     @property
     def within_bound(self) -> bool:
-        return self.observed_epsilon <= self.configured_epsilon
+        return self.effective_epsilon <= self.configured_epsilon
 
     def to_dict(self) -> dict:
         return {
@@ -85,6 +101,9 @@ class AccuracyReport:
             "observed_epsilon": self.observed_epsilon,
             "configured_epsilon": self.configured_epsilon,
             "window_points": self.window_points,
+            "shed_points": self.shed_points,
+            "shed_fraction": self.shed_fraction,
+            "effective_epsilon": self.effective_epsilon,
             "within_bound": self.within_bound,
         }
 
@@ -150,6 +169,12 @@ class AccuracyMonitor:
         self._rng = np.random.default_rng(seed)
         self._reports: deque[AccuracyReport] = deque(maxlen=max_reports)
         self._last_checked = 0
+        # Shed accounting: points admission control dropped before they
+        # could reach the synopsis or the shadow window.  Guarded by a
+        # leaf lock -- note_shed() is called from producer and worker
+        # threads (QoS admission, drop_oldest evictions).
+        self._shed_lock = threading.Lock()
+        self._shed_points = 0
         self._observed = (
             registry.gauge(OBSERVED_EPSILON_METRIC, stream=stream)
             if registry is not None
@@ -173,6 +198,22 @@ class AccuracyMonitor:
     def extend(self, batch) -> None:
         """Mirror ingested points into the exact shadow window."""
         self._window.extend(batch)
+
+    def note_shed(self, points: int) -> None:
+        """Account points shed before ingestion (QoS / drop_oldest).
+
+        Shed mass widens the effective epsilon of every subsequent
+        report by ``shed / (arrivals + shed)`` -- the monitor cannot
+        claim the configured bound over points it never saw.
+        """
+        if points > 0:
+            with self._shed_lock:
+                self._shed_points += int(points)
+
+    @property
+    def shed_points(self) -> int:
+        with self._shed_lock:
+            return self._shed_points
 
     def maybe_check(self, arrivals: int, synopsis) -> AccuracyReport | None:
         """Run a check when the cadence is due (returns the report, if any)."""
@@ -213,16 +254,20 @@ class AccuracyMonitor:
             observed = self._observed_window_count_epsilon(synopsis, values)
         else:
             observed = self._observed_quantile_epsilon(synopsis, values)
+        shed = self.shed_points
+        offered = arrivals + shed
         report = AccuracyReport(
             arrivals=arrivals,
             mode=mode,
             observed_epsilon=observed,
             configured_epsilon=self.epsilon,
             window_points=values.size,
+            shed_points=shed,
+            shed_fraction=shed / offered if offered else 0.0,
         )
         self._reports.append(report)
         if self._observed is not None:
-            self._observed.set(observed)
+            self._observed.set(report.effective_epsilon)
         if self._checks is not None:
             self._checks.inc()
         if self._violations is not None and not report.within_bound:
@@ -343,6 +388,13 @@ class AccuracyMonitor:
             "violations": sum(1 for r in reports if not r.within_bound),
             "observed_epsilon": (
                 latest.observed_epsilon if latest is not None else None
+            ),
+            "shed_points": self.shed_points,
+            "shed_fraction": (
+                latest.shed_fraction if latest is not None else 0.0
+            ),
+            "effective_epsilon": (
+                latest.effective_epsilon if latest is not None else None
             ),
             "mode": latest.mode if latest is not None else self.mode,
         }

@@ -9,9 +9,12 @@ manifest.  The fault-tolerance subsystem -- worker supervision with
 bounded-backoff restarts (:class:`StreamSupervisor`), poison-record
 quarantine (:class:`DeadLetterBuffer`), snapshot generation fallback,
 per-stream health states, and the deterministic :class:`FaultInjector`
-chaos harness -- keeps hosted synopses exact across crashes.  See
-``docs/API.md`` ("Service layer" and "Fault tolerance") and the README
-serving quickstart.
+chaos harness -- keeps hosted synopses exact across crashes.  The QoS
+layer (:class:`QoSConfig` / :class:`QoSController`) adds multi-tenant
+admission control and a graceful-degradation ladder so overload sheds
+low-priority load deterministically instead of failing everyone.  See
+``docs/API.md`` ("Service layer", "Fault tolerance" and "QoS") and the
+README serving quickstart.
 """
 
 from .deadletter import DeadLetterBuffer, DeadLetterRecord
@@ -25,6 +28,13 @@ from .queries import (
     view_range_sum,
 )
 from .protocol import ServiceProtocol
+from .qos import (
+    DEGRADATION_LEVELS,
+    QoSConfig,
+    QoSController,
+    QuotaExceededError,
+    TenantQuota,
+)
 from .service import StreamService, StreamSpec, UnknownStreamError
 from .snapshot import SnapshotCorruptError, SnapshotStore
 from .stream_worker import (
@@ -37,11 +47,15 @@ from .supervisor import RestartPolicy, StreamFailedError, StreamSupervisor
 
 __all__ = [
     "BackpressureError",
+    "DEGRADATION_LEVELS",
     "DeadLetterBuffer",
     "DeadLetterRecord",
     "FaultInjector",
     "InjectedFault",
     "MaterializedView",
+    "QoSConfig",
+    "QoSController",
+    "QuotaExceededError",
     "RestartPolicy",
     "ServiceProtocol",
     "SnapshotCorruptError",
@@ -51,6 +65,7 @@ __all__ = [
     "StreamSpec",
     "StreamSupervisor",
     "StreamWorker",
+    "TenantQuota",
     "UnknownStreamError",
     "UnsupportedQueryError",
     "WorkerCounters",

@@ -20,10 +20,12 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 
 import numpy as np
 
 from .config import build_service, load_config
+from .qos import QoSConfig, QuotaExceededError, TenantQuota
 
 
 def _parse_args(argv):
@@ -65,9 +67,27 @@ def _parse_args(argv):
         help="append the final metric samples to PATH as JSON lines",
     )
     parser.add_argument(
+        "--qos-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="enable QoS with a default per-tenant quota of R points/s "
+        "(overrides the config's default quota)",
+    )
+    parser.add_argument(
+        "--qos-burst",
+        type=float,
+        default=None,
+        metavar="B",
+        help="burst capacity for --qos-rate (default: 2*R)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the JSON report"
     )
-    return parser.parse_args(argv)
+    args = parser.parse_args(argv)
+    if args.qos_burst is not None and args.qos_rate is None:
+        parser.error("--qos-burst requires --qos-rate")
+    return args
 
 
 def _drive(service, streams, points, chunk, seed) -> dict:
@@ -75,12 +95,20 @@ def _drive(service, streams, points, chunk, seed) -> dict:
     rng = np.random.default_rng(seed)
     started = time.perf_counter()
     total = 0
+    throttled = 0
     for name in streams:
         remaining = points
         while remaining > 0:
             size = min(chunk, remaining)
             batch = np.floor(rng.random(size) * 100.0)
-            total += service.ingest(name, batch)
+            try:
+                total += service.ingest(name, batch)
+            except QuotaExceededError as exc:
+                # The driver is a well-behaved tenant: back off for the
+                # advertised horizon and resend the same batch.
+                throttled += 1
+                time.sleep(exc.retry_after)
+                continue
             remaining -= size
     service.flush()
     elapsed = time.perf_counter() - started
@@ -88,12 +116,24 @@ def _drive(service, streams, points, chunk, seed) -> dict:
         "points": total,
         "seconds": elapsed,
         "points_per_second": total / elapsed if elapsed > 0 else None,
+        "quota_backoffs": throttled,
     }
 
 
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
     config = load_config(args.config)
+    if args.qos_rate is not None:
+        burst = (
+            args.qos_burst if args.qos_burst is not None else 2 * args.qos_rate
+        )
+        quota = TenantQuota(rate=args.qos_rate, burst=burst)
+        qos = (
+            replace(config.qos, default_quota=quota)
+            if config.qos is not None
+            else QoSConfig(default_quota=quota)
+        )
+        config = replace(config, qos=qos)
     report: dict = {"mode": config.mode, "streams": [n for n, _ in config.streams]}
     failed = False
     service = build_service(config)
@@ -113,6 +153,8 @@ def main(argv=None) -> int:
             }
             for name in report["streams"]
         }
+        if config.qos is not None:
+            report["qos"] = service.qos()
         if args.certify:
             if config.mode == "sharded":
                 verdict = service.certify()

@@ -23,10 +23,25 @@ TOML example::
     [[streams]]
     name = "latency"
     backend = "fixed_window"
+    tenant = "gold"
+    priority = 0
     [streams.params]
     window_size = 1024
     num_buckets = 16
     epsilon = 0.1
+
+    [qos]
+    shed_fraction = 0.5
+    [qos.default]
+    rate = 50_000
+    burst = 100_000
+    [qos.tenants.gold]
+    rate = 200_000
+    burst = 400_000
+
+An optional ``[qos]`` table (see
+:class:`~repro.service.qos.QoSConfig`) turns on multi-tenant admission
+control and the graceful-degradation ladder on either tier.
 
 The JSON shape is identical (``{"mode": ..., "streams": [...]}``).
 TOML needs :mod:`tomllib` (Python 3.11+); JSON works everywhere, so on
@@ -39,6 +54,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .qos import QoSConfig
 from .service import StreamService, StreamSpec
 
 try:  # Python 3.11+
@@ -60,6 +76,8 @@ _SPEC_KEYS = (
     "checkpoint_every",
     "poison",
     "accuracy",
+    "tenant",
+    "priority",
 )
 
 
@@ -73,6 +91,7 @@ class ServiceConfig:
     snapshot_keep: int = 2
     virtual_nodes: int = 64
     supervise: bool = True
+    qos: QoSConfig | None = None
     streams: tuple[tuple[str, StreamSpec], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -95,6 +114,7 @@ class ServiceConfig:
             "snapshot_keep",
             "virtual_nodes",
             "supervise",
+            "qos",
             "streams",
         }
         unknown = sorted(set(payload) - known)
@@ -128,6 +148,11 @@ class ServiceConfig:
             snapshot_keep=int(payload.get("snapshot_keep", 2)),
             virtual_nodes=int(payload.get("virtual_nodes", 64)),
             supervise=bool(payload.get("supervise", True)),
+            qos=(
+                QoSConfig.from_dict(payload["qos"])
+                if payload.get("qos") is not None
+                else None
+            ),
             streams=tuple(streams),
         )
 
@@ -170,12 +195,14 @@ def build_service(config: ServiceConfig):
             virtual_nodes=config.virtual_nodes,
             snapshot_keep=config.snapshot_keep,
             supervise_workers=config.supervise,
+            qos=config.qos,
         )
     else:
         service = StreamService(
             snapshot_dir=config.snapshot_dir,
             supervise=config.supervise,
             snapshot_keep=config.snapshot_keep,
+            qos=config.qos,
         )
     try:
         for name, spec in config.streams:

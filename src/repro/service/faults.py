@@ -38,8 +38,8 @@ class InjectedFault(RuntimeError):
 
 @dataclass
 class _ScheduledFault:
-    kind: str  # "crash" | "slow" | "snapshot"
-    stream: str | None  # None matches every stream
+    kind: str  # "crash" | "slow" | "snapshot" | "slow_control" | "drop_frame"
+    stream: str | None  # None matches every stream (or verb, slow_control)
     at_arrival: int | None = None
     at_seq: int | None = None
     seconds: float = 0.0
@@ -109,6 +109,42 @@ class FaultInjector:
         )
         return self
 
+    def slow_control_at(
+        self, verb: str | None = None, seconds: float = 1.0, *, times: int = 1,
+    ) -> "FaultInjector":
+        """Wedge a shard's control plane: sleep before answering ``verb``.
+
+        Fires in the shard process (the injector crosses the fork with
+        the spawn options), delaying the reply to the next ``times``
+        matching control verbs -- a deterministic stand-in for a wedged
+        shard, used to exercise the router's per-verb deadlines and
+        circuit breaker without killing real processes.  ``verb=None``
+        matches every verb.
+        """
+        self._faults.append(
+            _ScheduledFault(
+                "slow_control", verb, seconds=seconds, remaining=times,
+            )
+        )
+        return self
+
+    def drop_frame_at(
+        self, at_seq: int | None = None, *, stream: str | None = None,
+        times: int = 1,
+    ) -> "FaultInjector":
+        """Drop a data frame router-side *after* it enters the replay log.
+
+        The frame is never written to the socket, simulating a send
+        that was lost to a dying shard: the watermark advances past the
+        hole on later frames, and only a crash + replay recovery
+        re-delivers the dropped batch.  With ``at_seq=None`` the next
+        matching frame is dropped.
+        """
+        self._faults.append(
+            _ScheduledFault("drop_frame", stream, at_seq=at_seq, remaining=times)
+        )
+        return self
+
     def crash_points(self, total_arrivals: int, count: int = 1) -> list[int]:
         """``count`` distinct seeded crash arrivals in ``[1, total_arrivals)``.
 
@@ -160,6 +196,44 @@ class FaultInjector:
                     f"injected crash in stream {stream!r} while feeding "
                     f"arrivals ({start_arrival}, {start_arrival + size}]"
                 )
+
+    def on_control(self, verb: str) -> None:
+        """Fire due control-plane faults (called shard-side per verb)."""
+        due: list[_ScheduledFault] = []
+        with self._lock:
+            for fault in self._faults:
+                if fault.remaining <= 0 or fault.kind != "slow_control":
+                    continue
+                if fault.stream is not None and fault.stream != verb:
+                    continue
+                fault.remaining -= 1
+                self.events.append(
+                    {
+                        "kind": "slow_control",
+                        "verb": verb,
+                        "seconds": fault.seconds,
+                    }
+                )
+                due.append(fault)
+        for fault in due:
+            time.sleep(fault.seconds)
+
+    def on_frame(self, stream: str, seq: int) -> bool:
+        """Should this data frame be dropped? (called router-side)."""
+        with self._lock:
+            for fault in self._faults:
+                if fault.remaining <= 0 or fault.kind != "drop_frame":
+                    continue
+                if not fault.matches(stream):
+                    continue
+                if fault.at_seq is not None and seq != fault.at_seq:
+                    continue
+                fault.remaining -= 1
+                self.events.append(
+                    {"kind": "drop_frame", "stream": stream, "seq": seq}
+                )
+                return True
+        return False
 
     def on_snapshot_write(self, stream: str, seq: int) -> None:
         """Fire due snapshot-write faults; raises ``OSError`` when one is due."""

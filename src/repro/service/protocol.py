@@ -120,6 +120,11 @@ class ServiceProtocol(Protocol):
         """Accuracy-monitor summary (None when not configured)."""
         ...
 
+    def qos(self) -> dict | None:
+        """QoS snapshot: ladder level, tenant buckets, shed totals
+        (None when QoS is not configured)."""
+        ...
+
     # -- certification and durability ----------------------------------
 
     def certify(self, name: str, **kwargs) -> dict:

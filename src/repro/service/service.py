@@ -42,6 +42,7 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Iterable
 
+from ..core.prefix import as_stream_batch
 from ..counting.encoding import encode_update, encode_updates
 from ..obs.accuracy import AccuracyMonitor
 from ..obs.export import to_prometheus_text, write_jsonl
@@ -50,6 +51,7 @@ from ..obs.tracing import SpanRecord, Tracer
 from ..runtime.registry import make_maintainer
 from .deadletter import DeadLetterBuffer, DeadLetterRecord
 from .faults import FaultInjector
+from .qos import QoSConfig, QoSController
 from .queries import (
     MaterializedView,
     view_histogram,
@@ -89,6 +91,12 @@ class StreamSpec:
     points, ``"fail"`` kills the worker), and an optional automatic
     checkpoint cadence in ingested points.
 
+    ``tenant`` and ``priority`` place the stream in the QoS model (see
+    :mod:`repro.service.qos`): the tenant's token bucket meters its
+    ingest, and the priority class (``0`` most critical) decides what
+    the degradation ladder sheds first.  Both are inert until the
+    service is built with a QoS config.
+
     ``accuracy`` opts the stream into online accuracy monitoring: a
     keyword dict for :class:`~repro.obs.accuracy.AccuracyMonitor`
     (``epsilon`` is required; ``window_size``, ``check_every``,
@@ -105,8 +113,14 @@ class StreamSpec:
     checkpoint_every: int | None = None
     poison: str = "quarantine"
     accuracy: dict | None = None
+    tenant: str = "default"
+    priority: int = 1
 
     def __post_init__(self) -> None:
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ValueError("tenant must be a non-empty string")
+        if not isinstance(self.priority, int) or self.priority < 0:
+            raise ValueError("priority must be an int >= 0 (0 most critical)")
         if self.maintain_every is not None and self.maintain_every < 1:
             raise ValueError("maintain_every must be >= 1 (or None)")
         if self.queue_capacity < 1:
@@ -142,6 +156,8 @@ class StreamSpec:
             "checkpoint_every": self.checkpoint_every,
             "poison": self.poison,
             "accuracy": dict(self.accuracy) if self.accuracy else None,
+            "tenant": self.tenant,
+            "priority": self.priority,
         }
 
     @classmethod
@@ -155,6 +171,8 @@ class StreamSpec:
             checkpoint_every=payload.get("checkpoint_every"),
             poison=payload.get("poison", "quarantine"),
             accuracy=payload.get("accuracy"),
+            tenant=payload.get("tenant", "default"),
+            priority=int(payload.get("priority", 1)),
         )
 
 
@@ -165,7 +183,10 @@ class StreamService:
     with ``restart_policy``); ``fault_injector`` threads a
     :class:`FaultInjector` through every worker and the snapshot store;
     ``snapshot_keep`` bounds the retained snapshot generations per
-    stream (>= 2 keeps a fallback behind the newest).
+    stream (>= 2 keeps a fallback behind the newest); ``qos`` attaches
+    multi-tenant admission control and the graceful-degradation ladder
+    (a :class:`~repro.service.qos.QoSConfig`, or a pre-built
+    :class:`~repro.service.qos.QoSController`).
     """
 
     def __init__(
@@ -176,11 +197,21 @@ class StreamService:
         restart_policy: RestartPolicy | None = None,
         fault_injector: FaultInjector | None = None,
         snapshot_keep: int = 2,
+        qos: QoSConfig | QoSController | None = None,
     ) -> None:
         if restart_policy is not None and not supervise:
             raise ValueError("restart_policy requires supervise=True")
         self.registry = MetricsRegistry()
         self.tracer = Tracer(self.registry)
+        if qos is None:
+            self._qos = None
+        elif isinstance(qos, QoSController):
+            self._qos = qos
+        else:
+            self._qos = QoSController(qos, registry=self.registry)
+        if self._qos is not None:
+            self._qos.set_signal_source(self._qos_signals)
+            self._qos.set_drained(self._qos_drained)
         self._store = (
             SnapshotStore(
                 snapshot_dir,
@@ -251,6 +282,15 @@ class StreamService:
             accuracy = AccuracyMonitor(
                 registry=self.registry, stream=name, **spec.accuracy
             )
+        on_shed = None
+        if self._qos is not None:
+            qos, tenant, priority = self._qos, spec.tenant, spec.priority
+
+            def on_shed(points: int) -> None:
+                # drop_oldest evictions count as shed mass under the
+                # stream's tenant/priority even before registration.
+                qos.count_shed(tenant, priority, points)
+
         worker = StreamWorker(
             name,
             maintainer,
@@ -265,6 +305,7 @@ class StreamService:
             registry=self.registry,
             tracer=self.tracer,
             accuracy=accuracy,
+            on_shed=on_shed,
         )
         if state is not None:
             worker.seed_view()
@@ -290,6 +331,8 @@ class StreamService:
         self._workers[name] = worker
         self._specs[name] = spec
         self._checkpoint_marks[name] = arrivals
+        if self._qos is not None:
+            self._qos.register_stream(name, spec.tenant, spec.priority)
         worker.start()
         for batch in tail:
             worker.submit(batch)
@@ -304,6 +347,8 @@ class StreamService:
         del self._checkpoint_marks[name]
         self._generation_arrivals.pop(name, None)
         self._checkpoint_errors.pop(name, None)
+        if self._qos is not None:
+            self._qos.forget_stream(name)
 
     def streams(self) -> list[str]:
         """Hosted stream names, sorted."""
@@ -335,7 +380,23 @@ class StreamService:
         *ingested* since the last one.  On a supervised service, a
         submit that hits a dead worker transparently waits for the
         restarted replacement and retries.
+
+        With QoS configured, the batch first passes admission control:
+        a tenant over its token-bucket quota gets a typed
+        :class:`~repro.service.qos.QuotaExceededError` (with
+        ``retry_after``), and under overload the degradation ladder may
+        deterministically shed part of a sheddable stream's batch -- the
+        shed mass is counted and widens the stream's reported effective
+        epsilon.
         """
+        if self._qos is not None:
+            worker = self._worker(name)  # surface UnknownStreamError first
+            kept, shed = self._qos.admit(name, as_stream_batch(values))
+            if shed and worker.accuracy is not None:
+                worker.accuracy.note_shed(shed)
+            if kept.size == 0:
+                return 0
+            values = kept
         while True:
             worker = self._worker(name)
             try:
@@ -414,8 +475,60 @@ class StreamService:
         return self._worker(name).dead_letter.records()
 
     def retry_dead_letters(self, name: str) -> dict:
-        """Re-feed a stream's quarantined records; returns outcome counts."""
-        return self._worker(name).retry_dead_letters()
+        """Re-feed a stream's quarantined records; returns outcome counts.
+
+        With QoS configured the retried mass re-enters admission: the
+        whole retry is charged against the stream tenant's quota
+        (all-or-nothing -- a partial shed of a poison retry would make
+        the outcome counts meaningless) and is refused outright while
+        the ladder is at ``shed`` or above for a sheddable stream.
+        """
+        worker = self._worker(name)
+        if self._qos is not None:
+            pending = len(worker.dead_letter.records())
+            if pending:
+                self._qos.admit_retry(name, pending)
+        return worker.retry_dead_letters()
+
+    # ------------------------------------------------------------------
+    # QoS signals
+    # ------------------------------------------------------------------
+
+    def _qos_signals(self) -> dict:
+        """Overload signals for the degradation ladder.
+
+        ``queue_fill`` is the MAX per-worker fill fraction, not the
+        mean: one saturated stream must escalate the shared service so
+        low-priority load is shed before the hot stream's producers
+        block.  ``p99_latency`` is the worst per-worker p99 enqueue
+        latency from the workers' reservoirs.
+        """
+        fill = 0.0
+        latency = 0.0
+        for worker in list(self._workers.values()):
+            fill = max(fill, worker.queue_depth / worker.queue_capacity)
+            latency = max(latency, worker.counters.latency_quantile(0.99))
+        return {"queue_fill": fill, "p99_latency": latency}
+
+    def _qos_drained(self) -> bool:
+        """True when every sheddable stream has caught up (backlog
+        drained, no in-flight batch, fresh served view) -- the gate for
+        demoting out of ``stale_serve``."""
+        if self._qos is None:
+            return True
+        for name, worker in list(self._workers.items()):
+            if self._qos.sheddable(name) and not worker.caught_up():
+                return False
+        return True
+
+    def qos(self) -> dict | None:
+        """QoS snapshot: ladder level, tenant buckets, per-stream shed
+        mass (None when QoS is not configured).  Forces a ladder
+        evaluation, so polling this drives demotion on a quiet service.
+        """
+        if self._qos is None:
+            return None
+        return self._qos.snapshot()
 
     # ------------------------------------------------------------------
     # Health
@@ -448,7 +561,7 @@ class StreamService:
             # in-flight batch and a non-stale served view.
             state = "healthy"
         view = worker.view()
-        return {
+        report = {
             "stream": name,
             "state": state,
             "restarts": record.get("restarts", 0),
@@ -460,6 +573,15 @@ class StreamService:
             "stale_view": bool(worker.failed or (view is not None and view.stale)),
             "queue_depth": worker.queue_depth,
         }
+        if self._qos is not None:
+            report["degradation"] = self._qos.level_name()
+            if self._qos.serving_stale(name):
+                # Stale-serve is an intentional degradation, not a
+                # failure: queries are answered from the last good view.
+                report["qos_shed"] = True
+                if report["state"] == "healthy":
+                    report["state"] = "degraded"
+        return report
 
     # ------------------------------------------------------------------
     # Queries (snapshot-isolated: served from materialized views)
@@ -480,6 +602,14 @@ class StreamService:
                 "(nothing ingested)"
             )
         if worker.failed and not view.stale:
+            return replace(view, stale=True)
+        if (
+            self._qos is not None
+            and self._qos.serving_stale(name)
+            and not view.stale
+        ):
+            # At stale_serve the ladder stops feeding sheddable streams
+            # entirely; mark the served view so callers can tell.
             return replace(view, stale=True)
         return view
 
@@ -542,6 +672,18 @@ class StreamService:
         if worker.accuracy is None:
             return None
         return worker.accuracy.to_dict()
+
+    def note_shed(self, name: str, points: int) -> None:
+        """Account externally-shed mass against a stream's accuracy.
+
+        Used by the shard router, whose admission control sheds points
+        before they ever reach this (shard-internal) service: the
+        stream's accuracy monitor still widens its effective epsilon
+        over the thinned feed.  No-op without a monitor.
+        """
+        worker = self._worker(name)
+        if worker.accuracy is not None and points > 0:
+            worker.accuracy.note_shed(int(points))
 
     def certify(
         self,

@@ -277,6 +277,7 @@ class StreamWorker:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         accuracy: AccuracyMonitor | None = None,
+        on_shed=None,
     ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
@@ -297,6 +298,11 @@ class StreamWorker:
         self.counters = WorkerCounters(registry, name)
         self.tracer = tracer
         self.accuracy = accuracy
+        # Called with the evicted point count on every drop_oldest
+        # eviction (under the queue lock -- keep it leaf-locked); the
+        # service wires this to QoS shed accounting so dropped mass is
+        # always counted, not just when shedding was deliberate.
+        self._on_shed = on_shed
         self.dead_letter = (
             dead_letter
             if dead_letter is not None
@@ -461,6 +467,13 @@ class StreamWorker:
                     evicted = self._queue.popleft()
                     self._queued_points -= evicted.size
                     self.counters.record_dropped(evicted.size)
+                    # Evicted points never reach the synopsis: they are
+                    # shed mass, so the accuracy monitor widens its
+                    # effective epsilon and QoS counts them.
+                    if self.accuracy is not None:
+                        self.accuracy.note_shed(int(evicted.size))
+                    if self._on_shed is not None:
+                        self._on_shed(int(evicted.size))
             waited = time.perf_counter() - started
             self._queue.append(batch)
             self._queued_points += batch.size

@@ -17,12 +17,19 @@ see ``docs/API.md`` ("Sharded service") and the README sharded
 quickstart.
 """
 
+from .breaker import CircuitBreaker
 from .framing import Frame, FramingError
 from .host import ShardHost, shard_main
 from .placement import HashRing
-from .router import ShardDownError, ShardRemoteError, ShardRouter
+from .router import (
+    ShardDownError,
+    ShardRemoteError,
+    ShardRouter,
+    ShardUnavailableError,
+)
 
 __all__ = [
+    "CircuitBreaker",
     "Frame",
     "FramingError",
     "HashRing",
@@ -30,5 +37,6 @@ __all__ = [
     "ShardHost",
     "ShardRemoteError",
     "ShardRouter",
+    "ShardUnavailableError",
     "shard_main",
 ]

@@ -1,0 +1,171 @@
+"""Per-shard circuit breaker for the router's control plane.
+
+A wedged shard -- process alive, control thread stuck -- used to cost
+every caller the full request timeout, serially, forever.  The breaker
+turns that into fail-fast: after ``failure_threshold`` consecutive
+control failures it *opens*, and callers get a typed
+:class:`~repro.shard.router.ShardUnavailableError` immediately instead
+of stalling on the socket.  After ``reset_timeout`` seconds one caller
+is let through as a *half-open* probe; its success closes the breaker,
+its failure re-opens it for another window.
+
+The three states follow the classic pattern::
+
+    CLOSED --(threshold consecutive failures)--> OPEN
+    OPEN --(reset_timeout elapsed, one probe)--> HALF_OPEN
+    HALF_OPEN --(probe ok)--> CLOSED
+    HALF_OPEN --(probe fails)--> OPEN
+
+State is exported as the ``repro_breaker_state`` gauge (0 closed,
+1 half-open, 2 open) and trips as the ``repro_breaker_trips_total``
+counter, both labeled ``shard``.  ``clock`` is injectable so tests
+drive the reset window deterministically.
+
+The breaker watches *control* health only: data-plane frames keep
+flowing to an open shard (the replay buffer makes them safe), and the
+router's dead-shard recovery path bypasses the breaker entirely --
+recovery must be able to talk to the respawned process while the
+breaker is still open, and resets it once the shard is back up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN"]
+
+STATE_CLOSED = 0
+STATE_HALF_OPEN = 1
+STATE_OPEN = 2
+
+_STATE_NAMES = ("closed", "half_open", "open")
+
+STATE_METRIC = "repro_breaker_state"
+TRIPS_METRIC = "repro_breaker_trips_total"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding one shard's control channel."""
+
+    def __init__(
+        self,
+        *,
+        shard: str,
+        failure_threshold: int = 3,
+        reset_timeout: float = 5.0,
+        registry: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0 seconds")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        # At most one half-open probe is in flight at a time; everyone
+        # else keeps failing fast until it reports back.
+        self._probing = False
+        registry = registry if registry is not None else MetricsRegistry()
+        self._gauge = registry.gauge(STATE_METRIC, shard=shard)
+        self._trips = registry.counter(TRIPS_METRIC, shard=shard)
+        self._gauge.set(STATE_CLOSED)
+
+    @property
+    def state(self) -> int:
+        with self._lock:
+            return self._state
+
+    def state_name(self) -> str:
+        return _STATE_NAMES[self.state]
+
+    def allow(self) -> bool:
+        """May this control request proceed?
+
+        Closed: always.  Open: only once ``reset_timeout`` has elapsed,
+        and then exactly one caller becomes the half-open probe.  The
+        probe's :meth:`record_success` / :meth:`record_failure` decides
+        what happens next; concurrent callers fail fast meanwhile.
+        """
+        with self._lock:
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_OPEN:
+                if self._clock() - self._opened_at < self.reset_timeout:
+                    return False
+                self._set(STATE_HALF_OPEN)
+                self._probing = True
+                return True
+            # HALF_OPEN: admit nothing while the probe is out.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def blocked(self) -> bool:
+        """Is the breaker open with the reset window still running?
+
+        A non-consuming check for paths that cannot act as a probe
+        (data-plane sends have no reply to report back): it never
+        transitions state, and once the window elapses it stops
+        blocking so traffic resumes alongside the control-plane probe.
+        """
+        with self._lock:
+            return (
+                self._state == STATE_OPEN
+                and self._clock() - self._opened_at < self.reset_timeout
+            )
+
+    def record_success(self) -> None:
+        """A guarded request completed; close (and end any probe)."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            if self._state != STATE_CLOSED:
+                self._set(STATE_CLOSED)
+
+    def record_failure(self) -> None:
+        """A guarded request failed; trip on threshold or failed probe."""
+        with self._lock:
+            self._failures += 1
+            if (
+                self._state == STATE_HALF_OPEN
+                or self._failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def trip(self) -> None:
+        """Open immediately (dead shard detected outside the breaker)."""
+        with self._lock:
+            self._trip()
+
+    def reset(self) -> None:
+        """Force-close (recovery finished rebuilding the shard)."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self._set(STATE_CLOSED)
+
+    def _trip(self) -> None:
+        # Caller holds self._lock.
+        self._failures = 0
+        self._probing = False
+        self._opened_at = self._clock()
+        if self._state != STATE_OPEN:
+            self._trips.inc()
+            self._set(STATE_OPEN)
+        else:
+            # Re-tripping restarts the reset window but is not a new
+            # outage for the trip counter.
+            self._gauge.set(STATE_OPEN)
+
+    def _set(self, state: int) -> None:
+        self._state = state
+        self._gauge.set(state)

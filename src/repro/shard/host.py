@@ -101,6 +101,11 @@ def _build_service(options: dict) -> StreamService:
     kwargs = dict(
         supervise=bool(options.get("supervise", True)),
         snapshot_keep=int(options.get("snapshot_keep", 2)),
+        # The router's injector crosses the fork with the options, so
+        # shard-internal ingest faults (slow/crash) stay schedulable.
+        # QoS deliberately does NOT cross: admission already ran at the
+        # router, and double-metering would shed admitted points twice.
+        fault_injector=options.get("fault_injector"),
     )
     if policy is not None and kwargs["supervise"]:
         kwargs["restart_policy"] = RestartPolicy(**policy)
@@ -116,6 +121,7 @@ class ShardHost:
     def __init__(self, shard_id: int, data_sock, ctrl_sock, options: dict) -> None:
         self.shard_id = int(shard_id)
         self.service = _build_service(options)
+        self._injector = options.get("fault_injector")
         self._data_sock = data_sock
         self._ctrl_sock = ctrl_sock
         self._watermark = _Watermark()
@@ -232,6 +238,9 @@ class ShardHost:
             ]
         if verb == "retry_dead_letters":
             return service.retry_dead_letters(args["name"])
+        if verb == "note_shed":
+            service.note_shed(args["name"], int(args["points"]))
+            return None
         if verb == "metrics":
             return service.registry.collect()
         if verb == "spans":
@@ -265,6 +274,11 @@ class ShardHost:
                     break
                 verb = frame.name
                 args = decode_obj(frame.payload) or {}
+                if self._injector is not None:
+                    # Scheduled control-plane faults (slow_control_at)
+                    # fire here, before dispatch: the reply is delayed
+                    # exactly like a wedged shard's would be.
+                    self._injector.on_control(verb)
                 stopping = verb == "stop"
                 if stopping:
                     self._barrier({"upto_seq": args.get("upto_seq", 0)})

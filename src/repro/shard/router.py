@@ -47,6 +47,7 @@ import multiprocessing
 import os
 import socket
 import threading
+import time
 from collections import deque
 from dataclasses import replace
 from pathlib import Path
@@ -56,9 +57,12 @@ from ..counting.encoding import encode_update, encode_updates
 from ..obs.export import samples_to_jsonl, samples_to_prometheus_text
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import SpanRecord
+from ..service.faults import FaultInjector
+from ..service.qos import QoSConfig, QoSController
 from ..service.queries import UnsupportedQueryError
 from ..service.service import StreamSpec, UnknownStreamError, _valid_stream_name
 from ..service.supervisor import RestartPolicy, StreamFailedError
+from .breaker import CircuitBreaker
 from .framing import (
     KIND_CONTROL,
     KIND_DATA,
@@ -72,7 +76,12 @@ from .framing import (
 from .host import shard_main
 from .placement import DEFAULT_VIRTUAL_NODES, HashRing
 
-__all__ = ["ShardDownError", "ShardRemoteError", "ShardRouter"]
+__all__ = [
+    "ShardDownError",
+    "ShardRemoteError",
+    "ShardRouter",
+    "ShardUnavailableError",
+]
 
 #: Router manifest filename inside the snapshot directory.
 MANIFEST_NAME = "router.json"
@@ -89,12 +98,74 @@ _REMOTE_ERRORS: dict[str, type[Exception]] = {
 }
 
 
+#: Verbs allowed the full ``request_timeout``: they do real work whose
+#: duration scales with hosted state (barriers, snapshots, fuzzing).
+_LONG_VERBS = frozenset(
+    {"flush", "checkpoint", "certify", "restore_report", "stop"}
+)
+
+#: Control deadlines in seconds for everything else, by how much work
+#: the verb does shard-side; unlisted short verbs get _DEFAULT_DEADLINE.
+#: A health probe against a wedged shard must fail in ~2 s, not 120.
+VERB_DEADLINES: dict[str, float] = {
+    "ping": 2.0,
+    "health": 2.0,
+    "stats": 5.0,
+    "streams": 5.0,
+    "spec": 5.0,
+    "accuracy": 5.0,
+    "dead_letters": 5.0,
+    "note_shed": 5.0,
+    "metrics": 10.0,
+    "spans": 10.0,
+    "range_sum": 10.0,
+    "quantile": 10.0,
+    "histogram": 10.0,
+    "create_stream": 30.0,
+    "drop_stream": 30.0,
+    "retry_dead_letters": 30.0,
+}
+
+_DEFAULT_DEADLINE = 30.0
+
+#: Verbs safe to resend after a timeout (read-only, or barriers whose
+#: re-execution is a no-op).  Mutating verbs never retry: a timed-out
+#: create may have applied, and resending would double-apply.
+_IDEMPOTENT_VERBS = frozenset(
+    {
+        "ping",
+        "health",
+        "stats",
+        "streams",
+        "spec",
+        "metrics",
+        "spans",
+        "accuracy",
+        "dead_letters",
+        "range_sum",
+        "quantile",
+        "histogram",
+        "flush",
+        "restore_report",
+        "checkpoint",
+    }
+)
+
+
 class ShardDownError(RuntimeError):
     """The owning shard is down and did not recover within the wait."""
 
 
 class ShardRemoteError(RuntimeError):
     """A shard-side verb failed with a type the router does not map."""
+
+
+class ShardUnavailableError(RuntimeError):
+    """The shard's circuit breaker is open: it is wedged, not dead.
+
+    The process is alive but its control plane stopped answering within
+    deadline; callers fail fast until the half-open probe succeeds.
+    """
 
 
 class _ShardHandle:
@@ -123,6 +194,7 @@ class _ShardHandle:
         self.restarts = 0
         self.last_error: str | None = None
         self.lossy = False
+        self.breaker: CircuitBreaker | None = None  # set by the router
 
 
 class ShardRouter:
@@ -162,6 +234,12 @@ class ShardRouter:
         supervise_workers: bool = True,
         request_timeout: float = 120.0,
         recovery_wait: float = 30.0,
+        ctrl_retries: int = 2,
+        ctrl_backoff: float = 0.05,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 5.0,
+        fault_injector: FaultInjector | None = None,
+        qos: QoSConfig | QoSController | None = None,
         _restore: bool = False,
     ) -> None:
         if num_shards < 1:
@@ -179,7 +257,26 @@ class ShardRouter:
         self._restart_policy = restart_policy or RestartPolicy()
         self._request_timeout = float(request_timeout)
         self._recovery_wait = float(recovery_wait)
+        if ctrl_retries < 0:
+            raise ValueError("ctrl_retries must be >= 0")
+        self._ctrl_retries = int(ctrl_retries)
+        self._ctrl_backoff = float(ctrl_backoff)
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_reset = float(breaker_reset)
+        self._injector = fault_injector
         self.registry = MetricsRegistry()
+        if qos is None:
+            self._qos = None
+        elif isinstance(qos, QoSController):
+            self._qos = qos
+        else:
+            self._qos = QoSController(qos, registry=self.registry)
+        if self._qos is not None:
+            self._qos.set_signal_source(self._qos_signals)
+            self._qos.set_drained(self._qos_drained)
+        self._send_latency = self.registry.histogram(
+            "repro_router_send_seconds"
+        )
         self._cond = threading.Condition()
         self._stop_event = threading.Event()
         self._closed = False
@@ -206,6 +303,12 @@ class ShardRouter:
         }
         for handle in self._shards.values():
             handle.checkpoint_seqs = deque(maxlen=self._snapshot_keep)
+            handle.breaker = CircuitBreaker(
+                shard=str(handle.shard_id),
+                failure_threshold=self._breaker_threshold,
+                reset_timeout=self._breaker_reset,
+                registry=self.registry,
+            )
             self._spawn(handle, restore=restoring)
             handle.state = "up"
             self.registry.gauge(
@@ -238,6 +341,9 @@ class ShardRouter:
             "supervise": self._supervise_workers,
             "snapshot_keep": self._snapshot_keep,
             "restore": bool(restore),
+            # The injector object crosses the fork (like the sockets),
+            # so position-deterministic faults fire shard-side too.
+            "fault_injector": self._injector,
         }
         process = self._ctx.Process(
             target=shard_main,
@@ -267,6 +373,9 @@ class ShardRouter:
             if handle.state == "up":
                 handle.state = "dead"
                 self._cond.notify_all()
+        # A dead process can answer nothing: open immediately so racing
+        # control callers fail fast instead of each eating a deadline.
+        handle.breaker.trip()
 
     def _await_up(self, handle: _ShardHandle) -> None:
         """Block until the shard is usable; raise when it never will be."""
@@ -300,6 +409,10 @@ class ShardRouter:
             handle.state = "recovering"
             handle.last_error = f"shard process exited (code {exitcode})"
             self._cond.notify_all()
+        # Monitor-detected deaths never pass through _note_dead; open
+        # the breaker here too so control callers racing the respawn
+        # fail fast instead of eating deadlines against a dead socket.
+        handle.breaker.trip()
         self.registry.gauge("repro_shard_up", shard=str(shard_id)).set(0)
         if handle.restarts >= self._restart_policy.max_restarts:
             with self._cond:
@@ -387,6 +500,10 @@ class ShardRouter:
                     handle.state = "dead"  # monitor retries, budget permitting
                     self._cond.notify_all()
             return
+        # Recovery talked to the respawned shard through _request_raw
+        # (breaker-exempt); it answered, so close the breaker before
+        # letting ordinary traffic back in.
+        handle.breaker.reset()
         with self._cond:
             handle.state = "up"
             self._cond.notify_all()
@@ -396,9 +513,22 @@ class ShardRouter:
     # Control channel
     # ------------------------------------------------------------------
 
+    def _verb_deadline(self, verb: str) -> float:
+        """Per-verb control deadline, never above ``request_timeout``."""
+        if verb in _LONG_VERBS:
+            return self._request_timeout
+        return min(VERB_DEADLINES.get(verb, _DEFAULT_DEADLINE),
+                   self._request_timeout)
+
     def _request_raw(self, handle: _ShardHandle, verb: str, args: dict):
-        """One request/reply on the control channel (no recovery retry)."""
+        """One request/reply on the control channel (no recovery retry).
+
+        Applies the per-verb deadline; the reply loop's seq matching
+        also skims off stale replies a previous timed-out request left
+        behind, so one slow verb cannot poison the channel.
+        """
         with handle.ctrl_lock:
+            handle.ctrl_sock.settimeout(self._verb_deadline(verb))
             handle.ctrl_seq += 1
             seq = handle.ctrl_seq
             send_frame(
@@ -425,16 +555,37 @@ class ShardRouter:
         )
 
     def _request(self, handle: _ShardHandle, verb: str, args: dict):
-        """Request with ride-across-recovery retry (idempotent verbs)."""
+        """Request with recovery ride-across, breaker gate, and bounded
+        retry-with-backoff after timeouts (idempotent verbs only).
+
+        A timeout means the shard is slow, not dead -- it feeds the
+        breaker, never the dead-shard recovery path (respawning a live
+        shard would lose its unsnapshot state for nothing).
+        """
+        attempt = 0
         while True:
             if handle.state != "up":
                 self._await_up(handle)
+            if not handle.breaker.allow():
+                raise ShardUnavailableError(
+                    f"shard {handle.shard_id} circuit breaker is open "
+                    f"({verb!r} rejected); retry after "
+                    f"{handle.breaker.reset_timeout:.1f}s"
+                )
             try:
-                return self._request_raw(handle, verb, args)
+                result = self._request_raw(handle, verb, args)
             except TimeoutError:
+                handle.breaker.record_failure()
+                if verb in _IDEMPOTENT_VERBS and attempt < self._ctrl_retries:
+                    time.sleep(self._ctrl_backoff * 2**attempt)
+                    attempt += 1
+                    continue
                 raise
             except (OSError, FramingError):
                 self._note_dead(handle)
+            else:
+                handle.breaker.record_success()
+                return result
 
     def _owner_handle(self, name: str) -> _ShardHandle:
         if name not in self._specs:
@@ -509,6 +660,10 @@ class ShardRouter:
                 handle, "create_stream",
                 {"name": name, "spec": self._shard_spec(name)},
             )
+        except TimeoutError:
+            # Slow shard: the create WAS sent and the control channel is
+            # serial, so it will still apply; registration stands.
+            handle.breaker.record_failure()
         except (OSError, FramingError) as error:
             # The shard died mid-create; recovery re-creates every owned
             # stream from the spec map, so registration stands.
@@ -519,6 +674,8 @@ class ShardRouter:
             raise
         self._submitted.setdefault(name, 0)
         self._cache_route(name)
+        if self._qos is not None:
+            self._qos.register_stream(name, spec.tenant, spec.priority)
         handle.checkpoint_cadence = self._shard_cadence(handle)
         self._write_manifest()
 
@@ -529,6 +686,8 @@ class ShardRouter:
         del self._specs[name]
         self._route.pop(name, None)
         self._submitted.pop(name, None)
+        if self._qos is not None:
+            self._qos.forget_stream(name)
         with handle.send_lock:
             handle.replay = deque(
                 record for record in handle.replay if record[1] != name
@@ -561,6 +720,13 @@ class ShardRouter:
         inside the shard (visible in worker counters, never raised
         here).  A batch accepted while the shard is crashing is not
         lost: it sits in the replay buffer and recovery re-delivers it.
+
+        With QoS configured, admission control runs *before* the frame
+        is cut (quota refusals raise
+        :class:`~repro.service.qos.QuotaExceededError`, ladder shedding
+        thins the batch deterministically); a wedged shard whose
+        breaker is open raises :class:`ShardUnavailableError` instead
+        of blocking on its socket.
         """
         route = self._route.get(name)
         if route is None:
@@ -568,12 +734,23 @@ class ShardRouter:
             route = self._route[name]
         handle, counter = route
         batch = as_stream_batch(values)
+        shed = 0
+        if self._qos is not None:
+            batch, shed = self._qos.admit(name, batch)
         points = int(batch.size)
         if points == 0:
+            if shed:
+                self._note_shed_remote(handle, name, shed)
             return 0
         payload = batch.tobytes()
         if handle.state != "up":
             self._await_up(handle)
+        if handle.breaker.blocked():
+            raise ShardUnavailableError(
+                f"shard {handle.shard_id} circuit breaker is open; "
+                f"ingest for {name!r} rejected, retry after "
+                f"{handle.breaker.reset_timeout:.1f}s"
+            )
         send_failed = False
         with handle.send_lock:
             seq = handle.next_seq
@@ -590,11 +767,23 @@ class ShardRouter:
             )
             if checkpoint_due:
                 handle.checkpoint_pending = True
-            try:
-                send_frame(handle.data_sock, KIND_DATA, seq, name, payload)
-            except OSError:
-                send_failed = True
+            # A dropped frame stays in the replay buffer: the fault
+            # models a send lost to a dying shard, recoverable only by
+            # crash + replay.
+            dropped = self._injector is not None and self._injector.on_frame(
+                name, seq
+            )
+            if not dropped:
+                started = time.perf_counter()
+                try:
+                    send_frame(handle.data_sock, KIND_DATA, seq, name, payload)
+                except OSError:
+                    send_failed = True
+                else:
+                    self._send_latency.observe(time.perf_counter() - started)
         counter.inc(points)
+        if shed:
+            self._note_shed_remote(handle, name, shed)
         if send_failed:
             if checkpoint_due:
                 handle.checkpoint_pending = False
@@ -612,6 +801,28 @@ class ShardRouter:
             finally:
                 handle.checkpoint_pending = False
         return points
+
+    def _note_shed_remote(
+        self, handle: _ShardHandle, name: str, points: int
+    ) -> None:
+        """Tell the shard about router-side shed mass (best effort).
+
+        The shard hosts the stream's accuracy monitor; shed points must
+        widen its effective epsilon even though they never cross the
+        data plane.  Best-effort by design: the router's own QoS
+        counters are the system of record, and a wedged shard must not
+        turn shed accounting into a stall.
+        """
+        if handle.state != "up" or handle.breaker.blocked():
+            return
+        try:
+            self._request_raw(
+                handle, "note_shed", {"name": name, "points": int(points)}
+            )
+        except TimeoutError:
+            handle.breaker.record_failure()
+        except (OSError, FramingError, ShardRemoteError, UnknownStreamError):
+            pass
 
     def update(self, name: str, key: int, delta: int = 1) -> int:
         """Turnstile update ``f[key] += delta`` on a sharded stream.
@@ -696,10 +907,56 @@ class ShardRouter:
         )
 
     def retry_dead_letters(self, name: str) -> dict:
-        """Re-feed a stream's quarantined records; returns outcome counts."""
-        return self._request(
-            self._owner_handle(name), "retry_dead_letters", {"name": name}
+        """Re-feed a stream's quarantined records; returns outcome counts.
+
+        With QoS configured the retried mass re-enters admission at the
+        router (all-or-nothing, like the threaded tier): refused while
+        the ladder sheds the stream, charged to the tenant bucket
+        otherwise.
+        """
+        handle = self._owner_handle(name)
+        if self._qos is not None:
+            pending = len(
+                self._request(handle, "dead_letters", {"name": name})
+            )
+            if pending:
+                self._qos.admit_retry(name, pending)
+        return self._request(handle, "retry_dead_letters", {"name": name})
+
+    # ------------------------------------------------------------------
+    # QoS signals
+    # ------------------------------------------------------------------
+
+    def _qos_signals(self) -> dict:
+        """Overload signals for the degradation ladder, router flavor.
+
+        ``queue_fill`` is the fraction of shards not currently up (a
+        down shard is a saturated queue from the producers' view);
+        ``p99_latency`` is the p99 of data-frame send times -- socket
+        sends only back up when shard-side queues do.
+        """
+        down = sum(
+            1 for handle in self._shards.values() if handle.state != "up"
         )
+        return {
+            "queue_fill": down / self.num_shards,
+            "p99_latency": self._send_latency.quantile(0.99),
+        }
+
+    def _qos_drained(self) -> bool:
+        """Every shard answering again gates leaving ``stale_serve``."""
+        return all(
+            handle.state == "up" for handle in self._shards.values()
+        )
+
+    def qos(self) -> dict | None:
+        """QoS snapshot: ladder level, tenant buckets, per-stream shed
+        mass (None when QoS is not configured).  Forces a ladder
+        evaluation, so polling this drives demotion on a quiet router.
+        """
+        if self._qos is None:
+            return None
+        return self._qos.snapshot()
 
     # ------------------------------------------------------------------
     # Health and observability
@@ -715,6 +972,11 @@ class ShardRouter:
                 if handle.state == "up":
                     try:
                         shard_reports = self._request_raw(handle, "health", {})
+                    except TimeoutError:
+                        # Slow, not dead: the wedged shard's streams
+                        # render degraded and the breaker accumulates.
+                        handle.breaker.record_failure()
+                        shard_reports = None
                     except (OSError, FramingError):
                         self._note_dead(handle)
                         shard_reports = None
@@ -735,6 +997,12 @@ class ShardRouter:
             return self._down_health(name, handle)
         try:
             record = self._request_raw(handle, "health", {"name": name})
+        except TimeoutError:
+            # The regression contract: a hung shard fails health() in
+            # ~the health deadline, never the flat request timeout --
+            # and is NOT routed into dead-shard recovery (it is alive).
+            handle.breaker.record_failure()
+            raise
         except (OSError, FramingError):
             self._note_dead(handle)
             return self._down_health(name, handle)
@@ -745,6 +1013,15 @@ class ShardRouter:
         record["shard_restarts"] = handle.restarts
         if handle.lossy:
             record["lossy_recovery"] = True
+        if self._qos is not None:
+            record["degradation"] = self._qos.level_name()
+            if self._qos.serving_stale(record.get("stream", "")):
+                # Intentional degradation: ingest is fully shed and
+                # queries answer from the last materialized view.
+                record["qos_shed"] = True
+                record["stale_view"] = True
+                if record.get("state") == "healthy":
+                    record["state"] = "degraded"
         return record
 
     def _down_health(self, name: str, handle: _ShardHandle) -> dict:
@@ -768,6 +1045,7 @@ class ShardRouter:
                 "state": handle.state,
                 "restarts": handle.restarts,
                 "last_error": handle.last_error,
+                "breaker": handle.breaker.state_name(),
                 "pid": handle.process.pid if handle.process else None,
                 "streams": sorted(
                     name
@@ -790,10 +1068,13 @@ class ShardRouter:
                 continue
             try:
                 shard_samples = self._request_raw(handle, "metrics", {})
+            except TimeoutError:
+                handle.breaker.record_failure()
+                continue
             except (OSError, FramingError):
                 self._note_dead(handle)
                 continue
-            except (TimeoutError, StreamFailedError, ShardDownError):
+            except (StreamFailedError, ShardDownError):
                 continue
             samples.extend(
                 {
@@ -948,6 +1229,7 @@ class ShardRouter:
                     handle, "checkpoint", {"upto_seq": upto}
                 )
             except TimeoutError:
+                handle.breaker.record_failure()
                 raise
             except (OSError, FramingError):
                 self._note_dead(handle)
