@@ -18,7 +18,13 @@ bounded queues while the per-stream workers drain them, for fleets of
 * sharded scaling: the same 16-stream fleet pushed through a
   :class:`~repro.shard.ShardRouter` at each shard count in
   ``SHARD_COUNTS``, so the process tier's IPC overhead and scaling curve
-  are recorded next to the threaded numbers they must beat.
+  are recorded next to the threaded numbers they must beat;
+* checkpoint cost: a 16-stream fleet of state-heavy sliding-window
+  buffers is checkpointed under the binary delta cadence
+  (``snapshot_base_every=CHECKPOINT_BASE_EVERY``) and against the
+  format-2 JSON layout the store used to write, recording bytes per
+  checkpoint (full, delta, amortized over a base cycle), checkpoint
+  p50/p99 latency for both layouts, and cold-restore latency.
 
 Standalone:  ``PYTHONPATH=src python benchmarks/bench_service_throughput.py``
 writes ``BENCH_service.json`` in the current directory.
@@ -27,7 +33,11 @@ Regression gate:  ``... bench_service_throughput.py --check`` re-runs the
 gated fleets (threaded 1 / 16 streams, sharded 16 streams at the largest
 shard count) and exits non-zero when any is more than
 ``REGRESSION_TOLERANCE`` slower than the committed ``BENCH_service.json``.
-CI runs this as a non-blocking step and uploads both JSON files.
+It also re-runs the checkpoint suite and fails when the amortized binary
+checkpoint stops being ``CHECKPOINT_BYTES_GATE`` times smaller than the
+JSON equivalent, when its p99 stops beating JSON's, or when the
+amortized bytes regress against the committed baseline.  CI runs this as
+a non-blocking step and uploads both JSON files.
 """
 
 from __future__ import annotations
@@ -60,6 +70,20 @@ SHARDED_STREAMS = 16
 
 #: ``--check`` fails on a throughput drop beyond this fraction.
 REGRESSION_TOLERANCE = 0.15
+
+#: Checkpoint-cost suite: a fleet of sliding-window buffers (the most
+#: state-heavy backend, i.e. the workload delta checkpoints target).
+CHECKPOINT_STREAMS = 16
+CHECKPOINT_BACKEND = "exact"
+CHECKPOINT_PARAMS = {"window_size": 4096}
+CHECKPOINT_BASE_EVERY = 8
+CHECKPOINT_INTERVAL = 512  # points per stream between barriers
+CHECKPOINT_CYCLES = 2  # full delta cycles driven (base_every barriers each)
+CHECKPOINT_JSON_TRIALS = 6  # timed format-2 JSON checkpoint passes
+
+#: ``--check`` fails when amortized binary checkpoint bytes are not at
+#: least this many times smaller than the JSON-equivalent checkpoint.
+CHECKPOINT_BYTES_GATE = 5.0
 
 #: The committed baseline the regression gate compares against.
 DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / "BENCH_service.json"
@@ -235,6 +259,135 @@ def stage_summary(service) -> dict:
     return summary
 
 
+def _percentiles(samples: list[float]) -> tuple[float, float]:
+    ordered = sorted(samples)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    return p50, p99
+
+
+def run_checkpoint() -> dict:
+    """Checkpoint bytes and latency: binary delta cadence vs JSON.
+
+    A 16-stream fleet of ``CHECKPOINT_BACKEND`` streams is filled, then
+    driven through ``CHECKPOINT_CYCLES`` base cycles of checkpoint
+    barriers with ``CHECKPOINT_INTERVAL`` points per stream between
+    them; every barrier's wall time and on-disk bytes are recorded.
+    The JSON columns write the exact format-2 payload the store used to
+    persist (full ``state_dict`` + listified tail, one file per stream)
+    into a scratch store, so both layouts are measured on identical
+    state in the same process.
+    """
+    from repro.service import SnapshotStore
+
+    stream = att_utilization_stream(
+        CHECKPOINT_PARAMS["window_size"]
+        + CHECKPOINT_INTERVAL * CHECKPOINT_BASE_EVERY * CHECKPOINT_CYCLES,
+        seed=7,
+    )
+    fill = CHECKPOINT_PARAMS["window_size"]
+    names = [f"c{i}" for i in range(CHECKPOINT_STREAMS)]
+    with tempfile.TemporaryDirectory() as snapshot_dir:
+        service = StreamService(
+            snapshot_dir, snapshot_base_every=CHECKPOINT_BASE_EVERY
+        )
+        try:
+            for name in names:
+                service.create_stream(
+                    name,
+                    backend=CHECKPOINT_BACKEND,
+                    params=CHECKPOINT_PARAMS,
+                    maintain_every=MAINTAIN_EVERY,
+                    queue_capacity=QUEUE_CAPACITY,
+                )
+                service.ingest(name, stream[:fill])
+            service.flush()
+
+            # -- format-2 JSON baseline: what the store used to write.
+            json_seconds = []
+            json_bytes = 0
+            with tempfile.TemporaryDirectory() as json_dir:
+                json_store = SnapshotStore(json_dir, keep=1)
+                for _ in range(CHECKPOINT_JSON_TRIALS):
+                    started = time.perf_counter()
+                    paths = []
+                    for name in names:
+                        worker = service._workers[name]
+                        state, arrivals, tail = worker.checkpoint_state()
+                        paths.append(
+                            json_store.write(
+                                name,
+                                {
+                                    "spec": service._specs[name].to_dict(),
+                                    "arrivals": arrivals,
+                                    "state": state,
+                                    "tail": [b.tolist() for b in tail],
+                                },
+                            )
+                        )
+                    json_seconds.append(time.perf_counter() - started)
+                    json_bytes = sum(p.stat().st_size for p in paths)
+
+            # -- binary delta cadence: drive whole base cycles.
+            barrier_seconds = []
+            barrier_bytes = []
+            full_bytes, delta_bytes = [], []
+            position = fill
+            for _ in range(CHECKPOINT_BASE_EVERY * CHECKPOINT_CYCLES):
+                for name in names:
+                    service.ingest(
+                        name, stream[position : position + CHECKPOINT_INTERVAL]
+                    )
+                service.flush()
+                position += CHECKPOINT_INTERVAL
+                started = time.perf_counter()
+                paths = service.checkpoint()
+                barrier_seconds.append(time.perf_counter() - started)
+                sizes = [Path(p).stat().st_size for p in paths]
+                barrier_bytes.append(sum(sizes))
+                for path, size in zip(paths, sizes):
+                    (delta_bytes if path.endswith(".delta") else
+                     full_bytes).append(size)
+        finally:
+            service.close(checkpoint=False)
+
+        # Amortized over the last complete cycle (the first full is a
+        # cold write, every later cycle is steady state).
+        steady = barrier_bytes[-CHECKPOINT_BASE_EVERY:]
+        amortized = sum(steady) / len(steady)
+
+        restore_started = time.perf_counter()
+        restored = StreamService.restore(
+            snapshot_dir, snapshot_base_every=CHECKPOINT_BASE_EVERY
+        )
+        try:
+            restored.flush()
+            restore_seconds = time.perf_counter() - restore_started
+            assert restored.stats(names[0])["arrivals"] == position
+        finally:
+            restored.close(checkpoint=False)
+
+    json_p50, json_p99 = _percentiles(json_seconds)
+    bin_p50, bin_p99 = _percentiles(barrier_seconds)
+    return {
+        "streams": CHECKPOINT_STREAMS,
+        "backend": CHECKPOINT_BACKEND,
+        "params": CHECKPOINT_PARAMS,
+        "base_every": CHECKPOINT_BASE_EVERY,
+        "interval_points": CHECKPOINT_INTERVAL,
+        "json_bytes_per_checkpoint": json_bytes,
+        "json_checkpoint_p50_seconds": json_p50,
+        "json_checkpoint_p99_seconds": json_p99,
+        "full_bytes_mean": sum(full_bytes) / len(full_bytes),
+        "delta_bytes_mean": sum(delta_bytes) / len(delta_bytes),
+        "amortized_bytes_per_checkpoint": amortized,
+        "bytes_ratio_json_over_binary": json_bytes / amortized,
+        "checkpoint_p50_seconds": bin_p50,
+        "checkpoint_p99_seconds": bin_p99,
+        "restore_seconds": restore_seconds,
+    }
+
+
 RECOVERY_TRIALS = 5
 RECOVERY_POLICY = RestartPolicy(
     max_restarts=3, backoff_initial=0.01, backoff_factor=2.0, backoff_max=0.05
@@ -368,6 +521,17 @@ def main(output_path: str = "BENCH_service.json") -> dict:
         f"max {recovery['recovery_seconds_max'] * 1e3:.1f} ms "
         f"over {recovery['trials']} trials"
     )
+    checkpoint = run_checkpoint()
+    print(
+        f"checkpoint ({checkpoint['streams']} streams, "
+        f"base every {checkpoint['base_every']}): "
+        f"{checkpoint['amortized_bytes_per_checkpoint']:,.0f} B amortized "
+        f"vs {checkpoint['json_bytes_per_checkpoint']:,} B JSON "
+        f"({checkpoint['bytes_ratio_json_over_binary']:.1f}x smaller), "
+        f"p99 {checkpoint['checkpoint_p99_seconds'] * 1e3:.1f} ms "
+        f"vs JSON {checkpoint['json_checkpoint_p99_seconds'] * 1e3:.1f} ms, "
+        f"restore {checkpoint['restore_seconds'] * 1e3:.1f} ms"
+    )
     threaded_16 = next(
         r["points_per_second"] for r in results if r["streams"] == SHARDED_STREAMS
     )
@@ -401,6 +565,7 @@ def main(output_path: str = "BENCH_service.json") -> dict:
         "sharded": sharded,
         "comparison": comparison,
         "recovery": recovery,
+        "checkpoint": checkpoint,
     }
     payload.update(merged_sections)
     with open(output_path, "w") as handle:
@@ -457,6 +622,48 @@ def check(baseline_path: str, output_path: str) -> int:
         )
         if verdict != "ok":
             failures.append(label)
+    checkpoint = run_checkpoint()
+    ratio = checkpoint["bytes_ratio_json_over_binary"]
+    latency_ok = (
+        checkpoint["checkpoint_p99_seconds"]
+        < checkpoint["json_checkpoint_p99_seconds"]
+    )
+    verdict = "ok" if ratio >= CHECKPOINT_BYTES_GATE and latency_ok else (
+        "REGRESSION"
+    )
+    checkpoint_check = {
+        "amortized_bytes_per_checkpoint": checkpoint[
+            "amortized_bytes_per_checkpoint"
+        ],
+        "json_bytes_per_checkpoint": checkpoint["json_bytes_per_checkpoint"],
+        "bytes_ratio_json_over_binary": ratio,
+        "bytes_gate": CHECKPOINT_BYTES_GATE,
+        "checkpoint_p99_seconds": checkpoint["checkpoint_p99_seconds"],
+        "json_checkpoint_p99_seconds": checkpoint[
+            "json_checkpoint_p99_seconds"
+        ],
+        "verdict": verdict,
+    }
+    base_amortized = baseline.get("checkpoint", {}).get(
+        "amortized_bytes_per_checkpoint"
+    )
+    if base_amortized:
+        growth = (
+            checkpoint["amortized_bytes_per_checkpoint"] - base_amortized
+        ) / base_amortized
+        checkpoint_check["baseline_amortized_bytes"] = base_amortized
+        checkpoint_check["bytes_growth_fraction"] = growth
+        if growth > REGRESSION_TOLERANCE:
+            checkpoint_check["verdict"] = verdict = "REGRESSION"
+    print(
+        f"checkpoint bytes: {ratio:.1f}x smaller than JSON "
+        f"(gate {CHECKPOINT_BYTES_GATE:.0f}x), p99 "
+        f"{checkpoint['checkpoint_p99_seconds'] * 1e3:.1f} ms vs JSON "
+        f"{checkpoint['json_checkpoint_p99_seconds'] * 1e3:.1f} ms "
+        f"-> {verdict}"
+    )
+    if verdict != "ok":
+        failures.append("checkpoint bytes")
     payload = {
         "benchmark": "service_throughput_check",
         "baseline": str(baseline_path),
@@ -464,6 +671,7 @@ def check(baseline_path: str, output_path: str) -> int:
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "checks": checks,
+        "checkpoint": checkpoint_check,
         "passed": not failures,
     }
     with open(output_path, "w") as handle:

@@ -31,6 +31,8 @@ __all__ = ["EHCountMaintainer", "CRPrecisMaintainer"]
 class EHCountMaintainer(UpdateMaintainer):
     """Sliding-window counting over the last ``window`` arrivals."""
 
+    supports_state_arrays = True
+
     def __init__(
         self, window: int, epsilon: float, name: str | None = None
     ) -> None:
@@ -76,6 +78,8 @@ class EHCountMaintainer(UpdateMaintainer):
 
 class CRPrecisMaintainer(UpdateMaintainer):
     """Deterministic CR-precis turnstile frequency summary."""
+
+    supports_state_arrays = True
 
     def __init__(
         self, rows: int, base: int, domain: int, name: str | None = None

@@ -88,6 +88,8 @@ class FixedWindowMaintainer(Maintainer):
     cadence dial.
     """
 
+    supports_state_arrays = True
+
     def __init__(
         self,
         window_size: int,
@@ -171,6 +173,8 @@ class FixedWindowMaintainer(Maintainer):
 class AgglomerativeMaintainer(Maintainer):
     """The one-pass whole-prefix histogram builder (section 4.3)."""
 
+    supports_state_arrays = True
+
     def __init__(
         self, num_buckets: int, epsilon: float, name: str | None = None
     ) -> None:
@@ -209,6 +213,8 @@ class WaveletWindowMaintainer(Maintainer):
     prices.  ``synopsis()`` always reflects the current buffer;
     :meth:`last_synopsis` serves the snapshot of the last maintain.
     """
+
+    supports_state_arrays = True
 
     def __init__(self, window_size: int, budget: int, name: str | None = None) -> None:
         super().__init__(name or f"wavelet(n={window_size}, B={budget})")
@@ -256,6 +262,8 @@ class WaveletWindowMaintainer(Maintainer):
 class ExactBufferMaintainer(Maintainer):
     """The raw sliding buffer itself: zero error, reference answers."""
 
+    supports_state_arrays = True
+
     def __init__(self, window_size: int, name: str | None = None) -> None:
         super().__init__(name or f"exact(n={window_size})")
         self._window = SlidingWindow(window_size)
@@ -281,6 +289,8 @@ class ExactBufferMaintainer(Maintainer):
 
 class DynamicWaveletMaintainer(Maintainer):
     """The [MVW00] dynamic wavelet histogram of a frequency vector."""
+
+    supports_state_arrays = True
 
     def __init__(
         self, domain_size: int, budget: int, name: str | None = None
@@ -324,6 +334,8 @@ class GKQuantileMaintainer(Maintainer):
     ``quantiles``) -- order statistics, not positional estimates.
     """
 
+    supports_state_arrays = True
+
     def __init__(self, epsilon: float, name: str | None = None) -> None:
         super().__init__(name or f"gk_quantiles(eps={epsilon:g})")
         self._summary = GKQuantileSummary(epsilon)
@@ -346,6 +358,8 @@ class GKQuantileMaintainer(Maintainer):
 
 class EquiDepthMaintainer(Maintainer):
     """Streaming equi-depth histogram of a non-negative attribute."""
+
+    supports_state_arrays = True
 
     def __init__(
         self, num_buckets: int, epsilon: float = 0.01, name: str | None = None
@@ -383,6 +397,8 @@ class EquiDepthMaintainer(Maintainer):
 class ReservoirMaintainer(Maintainer):
     """Uniform reservoir sample with Horvitz-Thompson estimators."""
 
+    supports_state_arrays = True
+
     def __init__(self, capacity: int, seed: int = 0, name: str | None = None) -> None:
         super().__init__(name or f"reservoir(k={capacity})")
         self._sample = ReservoirSample(capacity, seed=seed)
@@ -410,6 +426,8 @@ class DelayedMaintainer(Maintainer):
     stream, ``lag`` arrivals behind.  Buffering happens here so the inner
     maintainer still benefits from batched ingestion.
     """
+
+    supports_state_arrays = True
 
     def __init__(self, inner: Maintainer, lag: int, name: str | None = None) -> None:
         if lag < 1:

@@ -37,6 +37,7 @@ from dataclasses import asdict, dataclass, replace
 import numpy as np
 
 from ..core.prefix import as_stream_batch
+from .statecodec import flatten_state, unflatten_state
 
 __all__ = ["Maintainer", "MaintainerStats", "UpdateMaintainer"]
 
@@ -92,6 +93,11 @@ class Maintainer(ABC):
     exists, ``window_values``.  The public verbs wrap those hooks with
     timing and counting so every backend reports comparable telemetry.
     """
+
+    #: Adapters that opt into the binary checkpoint fast path set this
+    #: True; the service then snapshots them through
+    #: :meth:`state_arrays` (raw numeric sections) instead of JSON.
+    supports_state_arrays = False
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -183,6 +189,22 @@ class Maintainer(ABC):
         stats = state.get("stats")
         if stats is not None:
             self._stats = MaintainerStats(**stats)
+
+    def state_arrays(self):
+        """:meth:`state_dict` split for binary snapshots.
+
+        Returns ``(skeleton, arrays)`` per
+        :func:`repro.runtime.statecodec.flatten_state`: a small JSON
+        skeleton plus the state's numeric bulk as contiguous
+        float64/int64 arrays.  Restoring through
+        :meth:`load_state_arrays` is bit-identical to restoring the
+        JSON ``state_dict`` -- the codec round-trip is exact.
+        """
+        return flatten_state(self.state_dict())
+
+    def load_state_arrays(self, skeleton: dict, arrays) -> None:
+        """Restore the state captured by :meth:`state_arrays` in place."""
+        self.load_state_dict(unflatten_state(skeleton, arrays))
 
     # ------------------------------------------------------------------
     # Subclass hooks

@@ -62,6 +62,12 @@ def _parse_args(argv):
         help="take an explicit checkpoint before shutdown",
     )
     parser.add_argument(
+        "--restore",
+        action="store_true",
+        help="restore every stream from the config's snapshot_dir "
+        "instead of creating fresh ones",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         help="append the final metric samples to PATH as JSON lines",
@@ -88,6 +94,25 @@ def _parse_args(argv):
     if args.qos_burst is not None and args.qos_rate is None:
         parser.error("--qos-burst requires --qos-rate")
     return args
+
+
+def _restore_service(config):
+    """Rebuild the configured tier from its snapshot directory."""
+    if config.snapshot_dir is None:
+        raise SystemExit("--restore needs snapshot_dir in the config")
+    if config.mode == "sharded":
+        from ..shard.router import ShardRouter
+
+        return ShardRouter.restore(config.snapshot_dir, qos=config.qos)
+    from .service import StreamService
+
+    return StreamService.restore(
+        config.snapshot_dir,
+        supervise=config.supervise,
+        snapshot_keep=config.snapshot_keep,
+        snapshot_base_every=config.snapshot_base_every,
+        qos=config.qos,
+    )
 
 
 def _drive(service, streams, points, chunk, seed) -> dict:
@@ -136,7 +161,12 @@ def main(argv=None) -> int:
         config = replace(config, qos=qos)
     report: dict = {"mode": config.mode, "streams": [n for n, _ in config.streams]}
     failed = False
-    service = build_service(config)
+    if args.restore:
+        service = _restore_service(config)
+        report["streams"] = sorted(service.streams())
+        report["restored"] = True
+    else:
+        service = build_service(config)
     try:
         if args.points > 0:
             report["ingest"] = _drive(

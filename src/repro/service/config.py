@@ -89,6 +89,7 @@ class ServiceConfig:
     shards: int = 4
     snapshot_dir: str | None = None
     snapshot_keep: int = 2
+    snapshot_base_every: int = 1
     virtual_nodes: int = 64
     supervise: bool = True
     qos: QoSConfig | None = None
@@ -112,6 +113,7 @@ class ServiceConfig:
             "shards",
             "snapshot_dir",
             "snapshot_keep",
+            "snapshot_base_every",
             "virtual_nodes",
             "supervise",
             "qos",
@@ -146,6 +148,7 @@ class ServiceConfig:
             shards=int(payload.get("shards", 4)),
             snapshot_dir=payload.get("snapshot_dir"),
             snapshot_keep=int(payload.get("snapshot_keep", 2)),
+            snapshot_base_every=int(payload.get("snapshot_base_every", 1)),
             virtual_nodes=int(payload.get("virtual_nodes", 64)),
             supervise=bool(payload.get("supervise", True)),
             qos=(
@@ -194,6 +197,7 @@ def build_service(config: ServiceConfig):
             snapshot_dir=config.snapshot_dir,
             virtual_nodes=config.virtual_nodes,
             snapshot_keep=config.snapshot_keep,
+            snapshot_base_every=config.snapshot_base_every,
             supervise_workers=config.supervise,
             qos=config.qos,
         )
@@ -202,6 +206,7 @@ def build_service(config: ServiceConfig):
             snapshot_dir=config.snapshot_dir,
             supervise=config.supervise,
             snapshot_keep=config.snapshot_keep,
+            snapshot_base_every=config.snapshot_base_every,
             qos=config.qos,
         )
     try:

@@ -38,7 +38,7 @@ class InjectedFault(RuntimeError):
 
 @dataclass
 class _ScheduledFault:
-    kind: str  # "crash" | "slow" | "snapshot" | "slow_control" | "drop_frame"
+    kind: str  # crash | slow | snapshot | slow_control | drop_frame | dir_fsync
     stream: str | None  # None matches every stream (or verb, slow_control)
     at_arrival: int | None = None
     at_seq: int | None = None
@@ -143,6 +143,18 @@ class FaultInjector:
         self._faults.append(
             _ScheduledFault("drop_frame", stream, at_seq=at_seq, remaining=times)
         )
+        return self
+
+    def drop_dir_fsync(self, *, times: int = 1) -> "FaultInjector":
+        """Skip the parent-directory fsync after the next ``times`` writes.
+
+        Simulates the classic torn-rename failure: the snapshot or
+        manifest file itself is durable, but the directory entry that
+        makes it reachable is not, so a crash right after ``os.replace``
+        rolls the directory back.  The chaos suite schedules this to
+        prove the store's dir-fsync actually closes that window.
+        """
+        self._faults.append(_ScheduledFault("dir_fsync", None, remaining=times))
         return self
 
     def crash_points(self, total_arrivals: int, count: int = 1) -> list[int]:
@@ -253,6 +265,17 @@ class FaultInjector:
                     f"injected snapshot write failure for stream {stream!r} "
                     f"(seq {seq})"
                 )
+
+    def on_dir_fsync(self, path: str) -> bool:
+        """Should this directory fsync be skipped? (called by the store)."""
+        with self._lock:
+            for fault in self._faults:
+                if fault.remaining <= 0 or fault.kind != "dir_fsync":
+                    continue
+                fault.remaining -= 1
+                self.events.append({"kind": "dir_fsync", "path": path})
+                return True
+        return False
 
     def pending(self) -> int:
         """Scheduled fault shots not yet fired."""

@@ -80,6 +80,24 @@ def _valid_stream_name(name: str) -> bool:
     return bool(name) and name.replace("_", "").replace(".", "").isalnum()
 
 
+def _tiles_contiguously(batches, start: int, end: int) -> bool:
+    """Do the (start_arrival, batch) pairs cover [start, end) gaplessly?
+
+    The delta-checkpoint safety gate: a delta is only written when the
+    replay-log slice provably re-derives every arrival since the last
+    checkpoint.  Quarantined poison points never advance the arrival
+    counter, so a healthy replay log always tiles; anything else (a
+    trimmed log, replay tracking off) fails here and the checkpoint
+    falls back to a full snapshot.
+    """
+    position = start
+    for batch_start, batch in batches:
+        if batch_start != position:
+            return False
+        position += int(batch.size)
+    return position == end
+
+
 @dataclass(frozen=True)
 class StreamSpec:
     """Declarative configuration of one hosted stream.
@@ -183,9 +201,13 @@ class StreamService:
     with ``restart_policy``); ``fault_injector`` threads a
     :class:`FaultInjector` through every worker and the snapshot store;
     ``snapshot_keep`` bounds the retained snapshot generations per
-    stream (>= 2 keeps a fallback behind the newest); ``qos`` attaches
-    multi-tenant admission control and the graceful-degradation ladder
-    (a :class:`~repro.service.qos.QoSConfig`, or a pre-built
+    stream (>= 2 keeps a fallback behind the newest);
+    ``snapshot_base_every`` sets the delta-checkpoint cadence: every
+    K-th checkpoint of a stream writes a full base generation and the
+    K-1 in between write cheap binary deltas (1, the default, keeps the
+    old always-full behavior); ``qos`` attaches multi-tenant admission
+    control and the graceful-degradation ladder (a
+    :class:`~repro.service.qos.QoSConfig`, or a pre-built
     :class:`~repro.service.qos.QoSController`).
     """
 
@@ -197,6 +219,7 @@ class StreamService:
         restart_policy: RestartPolicy | None = None,
         fault_injector: FaultInjector | None = None,
         snapshot_keep: int = 2,
+        snapshot_base_every: int = 1,
         qos: QoSConfig | QoSController | None = None,
     ) -> None:
         if restart_policy is not None and not supervise:
@@ -223,6 +246,14 @@ class StreamService:
             else None
         )
         self._injector = fault_injector
+        if snapshot_base_every < 1:
+            raise ValueError("snapshot_base_every must be >= 1")
+        self._snapshot_base_every = int(snapshot_base_every)
+        # Per-stream delta counter: full/delta cadence is tracked per
+        # stream (not service-wide) so no checkpoint interleaving can
+        # starve a stream of base generations and let its replay log
+        # and delta chain grow without bound.
+        self._deltas_since_base: dict[str, int] = {}
         self._workers: dict[str, StreamWorker] = {}
         self._specs: dict[str, StreamSpec] = {}
         self._checkpoint_marks: dict[str, int] = {}
@@ -271,12 +302,15 @@ class StreamService:
         *,
         state: dict | None,
         arrivals: int,
+        state_arrays: tuple | None = None,
         dead_letter: DeadLetterBuffer | None = None,
     ) -> StreamWorker:
         """A configured (not yet started) worker; shared with recovery."""
         maintainer = spec.build_maintainer()
         if state is not None:
             maintainer.load_state_dict(state)
+        elif state_arrays is not None:
+            maintainer.load_state_arrays(*state_arrays)
         accuracy = None
         if spec.accuracy is not None:
             accuracy = AccuracyMonitor(
@@ -300,14 +334,18 @@ class StreamService:
             initial_arrivals=arrivals,
             poison=spec.poison,
             injector=self._injector,
-            track_replay=self._supervisor is not None,
+            # Delta checkpoints persist the replay-log slice since the
+            # last checkpoint, so the log is also tracked (without a
+            # supervisor) whenever the store runs a delta cadence.
+            track_replay=self._supervisor is not None
+            or (self._store is not None and self._snapshot_base_every > 1),
             dead_letter=dead_letter,
             registry=self.registry,
             tracer=self.tracer,
             accuracy=accuracy,
             on_shed=on_shed,
         )
-        if state is not None:
+        if state is not None or state_arrays is not None:
             worker.seed_view()
         return worker
 
@@ -318,6 +356,7 @@ class StreamService:
         state: dict | None,
         arrivals: int,
         tail: Iterable,
+        state_arrays: tuple | None = None,
     ) -> StreamWorker:
         if self._closed:
             raise RuntimeError("service is closed")
@@ -327,10 +366,14 @@ class StreamService:
             )
         if name in self._workers:
             raise ValueError(f"stream {name!r} already exists")
-        worker = self._build_worker(name, spec, state=state, arrivals=arrivals)
+        worker = self._build_worker(
+            name, spec, state=state, arrivals=arrivals,
+            state_arrays=state_arrays,
+        )
         self._workers[name] = worker
         self._specs[name] = spec
         self._checkpoint_marks[name] = arrivals
+        self._deltas_since_base[name] = 0
         if self._qos is not None:
             self._qos.register_stream(name, spec.tenant, spec.priority)
         worker.start()
@@ -345,6 +388,7 @@ class StreamService:
         del self._workers[name]
         del self._specs[name]
         del self._checkpoint_marks[name]
+        self._deltas_since_base.pop(name, None)
         self._generation_arrivals.pop(name, None)
         self._checkpoint_errors.pop(name, None)
         if self._qos is not None:
@@ -771,37 +815,93 @@ class StreamService:
     # Checkpoint / restore
     # ------------------------------------------------------------------
 
-    def checkpoint(self, name: str | None = None) -> list[str]:
+    def checkpoint(
+        self, name: str | None = None, *, mode: str = "auto"
+    ) -> list[str]:
         """Write durable snapshots (one stream or all); returns paths.
 
         Each snapshot captures the maintainer state at a batch boundary
         plus the buffered tail, so a restore replays exactly the points
-        the crashed service had accepted but not yet applied.  After a
-        successful write the worker's replay log is trimmed to the
-        oldest retained snapshot generation.
+        the crashed service had accepted but not yet applied.
+
+        With ``snapshot_base_every=K > 1`` only every K-th checkpoint of
+        a stream writes a full base; the others persist a binary delta
+        (the replay-log slice since the last checkpoint plus the current
+        tail) -- but only when that slice provably tiles the arrival
+        range without a gap, and there is a base on disk to chain from;
+        otherwise the checkpoint silently falls back to a full.
+        ``mode="full"`` forces full snapshots regardless of cadence (the
+        shard router uses this to align delta chains with its own replay
+        trimming).  After a successful write the worker's replay log is
+        trimmed to the oldest retained *base* generation.
         """
         if self._store is None:
             raise RuntimeError("service was created without a snapshot_dir")
+        if mode not in ("auto", "full"):
+            raise ValueError(f"unknown checkpoint mode {mode!r}")
         names = [name] if name is not None else self.streams()
         paths = []
         for stream_name in names:
             worker = self._worker(stream_name)
             with self.tracer.span("checkpoint", stream_name):
-                state, arrivals, tail = worker.checkpoint_state()
-                payload = {
-                    "spec": self._specs[stream_name].to_dict(),
-                    "arrivals": arrivals,
-                    "state": state,
-                    "tail": tail,
-                }
-                paths.append(str(self._store.write(stream_name, payload)))
+                path, arrivals = self._checkpoint_stream(
+                    stream_name, worker, mode
+                )
+                paths.append(str(path))
             self._checkpoint_marks[stream_name] = arrivals
-            generations = self._generation_arrivals.setdefault(
-                stream_name, deque(maxlen=self._store.keep)
-            )
-            generations.append(arrivals)
-            worker.trim_replay(generations[0])
+            generations = self._generation_arrivals.get(stream_name)
+            if generations:
+                worker.trim_replay(generations[0])
         return paths
+
+    def _checkpoint_stream(self, name: str, worker, mode: str):
+        """Write one stream's checkpoint (delta when safe, else full)."""
+        mark = self._checkpoint_marks.get(name, 0)
+        want_delta = (
+            mode == "auto"
+            and self._snapshot_base_every > 1
+            and self._deltas_since_base.get(name, 0)
+            < self._snapshot_base_every - 1
+        )
+        if want_delta:
+            capture = worker.checkpoint_capture(state=False, replay_since=mark)
+            arrivals = capture["arrivals"]
+            batches = capture.get("replay", [])
+            if _tiles_contiguously(batches, mark, arrivals):
+                try:
+                    path = self._store.write_delta(
+                        name,
+                        arrivals=arrivals,
+                        from_arrivals=mark,
+                        batches=batches,
+                        tail=capture["tail"],
+                    )
+                except ValueError:
+                    pass  # no base generation on disk; write a full
+                else:
+                    self._deltas_since_base[name] = (
+                        self._deltas_since_base.get(name, 0) + 1
+                    )
+                    return path, arrivals
+        capture = worker.checkpoint_capture()
+        arrivals = capture["arrivals"]
+        payload = {
+            "spec": self._specs[name].to_dict(),
+            "arrivals": arrivals,
+        }
+        if "state_arrays" in capture:
+            payload["state_arrays"] = capture["state_arrays"]
+            payload["tail"] = capture["tail"]
+        else:
+            payload["state"] = capture["state"]
+            payload["tail"] = [batch.tolist() for batch in capture["tail"]]
+        path = self._store.write(name, payload)
+        self._deltas_since_base[name] = 0
+        generations = self._generation_arrivals.setdefault(
+            name, deque(maxlen=self._store.keep)
+        )
+        generations.append(arrivals)
+        return path, arrivals
 
     def restore_stream(self, name: str) -> StreamWorker:
         """Recreate one stream from its latest verifiable snapshot."""
@@ -812,9 +912,10 @@ class StreamService:
         return self._start_stream(
             name,
             spec,
-            state=payload["state"],
+            state=payload.get("state"),
             arrivals=int(payload["arrivals"]),
             tail=payload.get("tail", ()),
+            state_arrays=payload.get("state_arrays"),
         )
 
     @classmethod

@@ -1,21 +1,39 @@
-"""Durable checkpoint storage: checksummed JSON snapshots plus a manifest.
+"""Durable checkpoint storage: binary full + delta snapshots, a manifest.
 
 One directory holds everything a service needs to come back from a
-crash: a numbered snapshot file per checkpoint (stream spec, maintainer
-``state_dict``, arrival counter, and the buffered-but-unprocessed tail)
-and a ``manifest.json`` naming the latest snapshot of every stream.
-Both are written atomically (temp file + ``fsync`` + ``os.replace``),
-so a crash mid-checkpoint leaves the previous snapshot intact -- the
-manifest never points at a torn file.
+crash.  Three file kinds coexist:
 
-Integrity is verified on every load: format-2 snapshots embed a sha256
-checksum over their canonical JSON body, and :meth:`SnapshotStore.
-load_latest` falls back generation by generation when the newest file
-is corrupt, truncated, missing, or fails its checksum -- the store
-retains the last ``keep`` generations per stream precisely so a single
-bad write (or disk bitrot) cannot take recovery down.  Corruption is a
-typed :class:`SnapshotCorruptError`; cleanup problems are logged and
-counted instead of silently swallowed.
+* ``{name}-{seq:08d}.snap`` -- a **format-3 full snapshot**: an 8-byte
+  magic, a sha256-guarded JSON header (spec, arrival counter, the state
+  skeleton of :func:`repro.runtime.statecodec.flatten_state`), then the
+  state's numeric bulk and the buffered tail as raw little-endian
+  ``float64``/``int64`` sections, each with its own sha256.  Reading is
+  zero-copy: sections become numpy views over the file bytes.
+* ``{name}-{seq:08d}.delta`` -- a **delta checkpoint**: only the batches
+  ingested since the previous checkpoint plus the current tail, in the
+  same header+sections layout.  A chain of deltas hangs off its full
+  *base* generation (``base_seq`` in every link); restore loads the base
+  and rolls the chain forward.
+* ``{name}-{seq:08d}.json`` -- the **format-2 JSON snapshot** older
+  stores wrote (and the fallback for payloads without a ``state_arrays``
+  fast path).  Still written for such payloads and always readable, so a
+  pre-existing JSON directory restores unchanged -- and can serve as the
+  base of a new delta chain.
+
+Stream names are percent-encoded into filenames (``_encode_name``), and
+``generations()`` matches an exact name + 8-digit-seq pattern, so
+prefix-colliding names (``"a"`` vs ``"a-b"``) can never list, prune, or
+fall back onto each other's files.
+
+All writes are atomic (temp file + ``fsync`` + ``os.replace`` +
+**parent-directory fsync**, so the rename itself survives a crash).
+:meth:`SnapshotStore.load_latest` verifies every byte it returns and
+falls back generation by generation -- a corrupt delta truncates its
+chain to the verified prefix, a corrupt base abandons the chain for the
+next older candidate.  Corruption is a typed
+:class:`SnapshotCorruptError`; an unreadable or structurally broken
+manifest takes the same typed path and is rebuilt from the files on
+disk instead of escaping as a raw ``OSError``.
 """
 
 from __future__ import annotations
@@ -24,22 +42,69 @@ import hashlib
 import json
 import logging
 import os
+import re
+import struct
 import time
 from pathlib import Path
+
+import numpy as np
 
 __all__ = ["SnapshotCorruptError", "SnapshotStore"]
 
 logger = logging.getLogger(__name__)
 
 MANIFEST_NAME = "manifest.json"
-SNAPSHOT_FORMAT = 2
-#: Formats this store can read; format 1 predates embedded checksums.
-SUPPORTED_FORMATS = (1, 2)
+SNAPSHOT_FORMAT = 3
+#: Formats this store can read; format 1 predates embedded checksums,
+#: format 2 is the JSON-payload layout, format 3 the binary layout.
+SUPPORTED_FORMATS = (1, 2, 3)
 CHECKSUM_FIELD = "checksum"
+
+#: Binary snapshot magic: identifies both the family and the layout rev.
+BINARY_MAGIC = b"RPSNAP03"
+
+#: Filename suffix per snapshot kind.
+SUFFIX_FULL = ".snap"
+SUFFIX_DELTA = ".delta"
+SUFFIX_JSON = ".json"
+_SUFFIXES = (SUFFIX_JSON, SUFFIX_FULL, SUFFIX_DELTA)
+
+_DTYPES = {"f8": np.dtype("<f8"), "i8": np.dtype("<i8")}
+
+#: Characters allowed verbatim in snapshot filenames; everything else is
+#: percent-encoded.  Valid service stream names (letters, digits, ``_``,
+#: ``.``) encode to themselves, so legacy filenames stay addressable.
+_SAFE_NAME = re.compile(r"[A-Za-z0-9_.]")
 
 
 class SnapshotCorruptError(ValueError):
     """A snapshot or manifest failed structural / checksum validation."""
+
+
+def _encode_name(name: str) -> str:
+    """Stream name -> filename-safe token (percent-encoding, exact inverse)."""
+    return "".join(
+        ch if _SAFE_NAME.fullmatch(ch) else
+        "".join(f"%{byte:02X}" for byte in ch.encode("utf-8"))
+        for ch in name
+    )
+
+
+def _decode_name(token: str) -> str:
+    """Inverse of :func:`_encode_name`."""
+    out = bytearray()
+    i = 0
+    while i < len(token):
+        if token[i] == "%" and i + 3 <= len(token):
+            try:
+                out.extend(bytes.fromhex(token[i + 1 : i + 3]))
+                i += 3
+                continue
+            except ValueError:
+                pass  # not an escape we wrote; keep the literal "%"
+        out.extend(token[i].encode("utf-8"))
+        i += 1
+    return out.decode("utf-8", errors="replace")
 
 
 def _payload_checksum(payload: dict) -> str:
@@ -51,20 +116,159 @@ def _payload_checksum(payload: dict) -> str:
     return f"sha256:{digest}"
 
 
-def _atomic_write_json(path: Path, payload: dict) -> None:
+def _fsync_dir(directory: Path, injector=None) -> None:
+    """fsync the directory so a completed ``os.replace`` survives a crash.
+
+    Without this the rename lives only in the in-memory directory entry:
+    power loss right after the replace can roll the directory back and
+    silently lose the "newest" snapshot recovery then trusts.  The
+    injector hook lets the chaos suite drop exactly this fsync to prove
+    the failure mode is real (and caught).
+    """
+    if injector is not None and injector.on_dir_fsync(str(directory)):
+        return
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, data: bytes, injector=None) -> None:
+    """Atomic durable write: tmp + fsync(file) + replace + fsync(dir)."""
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w") as handle:
-        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent, injector)
+
+
+def _atomic_write_json(path: Path, payload: dict, injector=None) -> None:
+    _atomic_write(
+        path,
+        (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        injector,
+    )
+
+
+def _as_batch_array(values) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+
+
+def _encode_binary(header: dict, sections: list[tuple[str, bytes]]) -> bytes:
+    """Serialize header + raw sections into the ``RPSNAP03`` layout.
+
+    ``magic | u32 header_len | sha256(header) | header JSON | sections``.
+    The per-section offsets/digests are folded into the header before it
+    is hashed, so the single header digest also pins the section table.
+    """
+    offset = 0
+    table = []
+    for name, data in sections:
+        table.append(
+            {
+                "name": name,
+                "offset": offset,
+                "nbytes": len(data),
+                "sha256": hashlib.sha256(data).hexdigest(),
+            }
+        )
+        offset += len(data)
+    header = {**header, "sections": table}
+    head = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return b"".join(
+        [
+            BINARY_MAGIC,
+            struct.pack("<I", len(head)),
+            hashlib.sha256(head).digest(),
+            head,
+            *(data for _, data in sections),
+        ]
+    )
+
+
+def _decode_binary(raw: bytes, path_name: str) -> tuple[dict, dict[str, memoryview]]:
+    """Parse and fully verify one binary snapshot file.
+
+    Returns the header plus a name -> memoryview map of the verified
+    sections (views into ``raw``; numpy reads them zero-copy).
+    """
+    view = memoryview(raw)
+    fixed = len(BINARY_MAGIC) + 4 + 32
+    if len(raw) < fixed or raw[: len(BINARY_MAGIC)] != BINARY_MAGIC:
+        raise SnapshotCorruptError(f"{path_name}: not a binary snapshot")
+    (head_len,) = struct.unpack_from("<I", raw, len(BINARY_MAGIC))
+    head_start = fixed
+    head_end = head_start + head_len
+    if head_end > len(raw):
+        raise SnapshotCorruptError(f"{path_name}: truncated header")
+    head = bytes(view[head_start:head_end])
+    stored = bytes(view[len(BINARY_MAGIC) + 4 : fixed])
+    if hashlib.sha256(head).digest() != stored:
+        raise SnapshotCorruptError(f"{path_name}: header checksum mismatch")
+    try:
+        header = json.loads(head.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SnapshotCorruptError(
+            f"{path_name}: header is not valid JSON: {error}"
+        ) from error
+    if header.get("format") not in SUPPORTED_FORMATS:
+        raise SnapshotCorruptError(
+            f"unsupported snapshot format {header.get('format')!r}"
+        )
+    sections: dict[str, memoryview] = {}
+    body = view[head_end:]
+    for entry in header.get("sections", []):
+        start, nbytes = int(entry["offset"]), int(entry["nbytes"])
+        if start + nbytes > len(body):
+            raise SnapshotCorruptError(
+                f"{path_name}: section {entry['name']!r} exceeds file size"
+            )
+        data = body[start : start + nbytes]
+        if hashlib.sha256(data).hexdigest() != entry["sha256"]:
+            raise SnapshotCorruptError(
+                f"{path_name}: section {entry['name']!r} checksum mismatch"
+            )
+        sections[entry["name"]] = data
+    return header, sections
+
+
+def _split_arrays(arrays) -> tuple[list[list], bytes]:
+    """(dtype/count table, concatenated little-endian bytes) of arrays."""
+    table = []
+    chunks = []
+    for array in arrays:
+        code = "i8" if array.dtype.kind == "i" else "f8"
+        data = np.ascontiguousarray(array, dtype=_DTYPES[code])
+        table.append([code, int(data.size)])
+        chunks.append(data.tobytes())
+    return table, b"".join(chunks)
+
+
+def _join_arrays(table, section: memoryview) -> list[np.ndarray]:
+    """Inverse of :func:`_split_arrays`: zero-copy views into the section."""
+    arrays = []
+    offset = 0
+    for code, count in table:
+        dtype = _DTYPES[code]
+        nbytes = dtype.itemsize * int(count)
+        arrays.append(
+            np.frombuffer(section[offset : offset + nbytes], dtype=dtype)
+        )
+        offset += nbytes
+    return arrays
 
 
 class SnapshotStore:
     """Snapshot directory manager for one service.
 
     ``keep`` bounds the retained generations per stream (>= 1; the
-    default of 2 keeps one fallback generation behind the newest).  An
+    default of 2 keeps one fallback generation behind the newest).
+    Generations are counted in *full* snapshots: a delta chain lives and
+    dies with its base, so pruning keeps the last ``keep`` bases plus
+    every delta hanging off them and can never strand a delta.  An
     optional :class:`~repro.service.faults.FaultInjector` is consulted
     before every write so chaos suites can fail snapshots on schedule.
     """
@@ -100,7 +304,14 @@ class SnapshotStore:
     # ------------------------------------------------------------------
 
     def manifest(self) -> dict:
-        """The current manifest (empty skeleton if none exists yet)."""
+        """The current manifest (empty skeleton if none exists yet).
+
+        Raises :class:`SnapshotCorruptError` for *any* unreadable or
+        structurally invalid manifest -- invalid JSON, truncation to
+        emptiness, permission/IO failures, a non-object payload -- never
+        a raw ``OSError``.  Internal callers recover through
+        :meth:`_manifest_or_rebuild`.
+        """
         if not self._manifest_path.exists():
             return {"format": SNAPSHOT_FORMAT, "streams": {}}
         try:
@@ -109,54 +320,101 @@ class SnapshotStore:
             raise SnapshotCorruptError(
                 f"manifest {self._manifest_path} is not valid JSON: {error}"
             ) from error
+        except OSError as error:
+            raise SnapshotCorruptError(
+                f"manifest {self._manifest_path} is unreadable: {error}"
+            ) from error
+        if not isinstance(manifest, dict) or not isinstance(
+            manifest.get("streams"), dict
+        ):
+            raise SnapshotCorruptError(
+                f"manifest {self._manifest_path} is not a manifest object"
+            )
         if manifest.get("format") not in SUPPORTED_FORMATS:
             raise SnapshotCorruptError(
                 f"unsupported snapshot format {manifest.get('format')!r}"
             )
         return manifest
 
+    def _manifest_or_rebuild(self) -> dict:
+        """The manifest, rebuilt from the on-disk files when corrupt.
+
+        The rebuilt skeleton points every stream at its newest on-disk
+        generation; sequence numbers continue from the on-disk maximum
+        so replacement writes can never collide with surviving files.
+        """
+        try:
+            return self.manifest()
+        except SnapshotCorruptError as error:
+            self._count("corrupt_snapshots")
+            logger.warning("rebuilding manifest: %s", error)
+        streams: dict[str, dict] = {}
+        for path in self.directory.iterdir():
+            parsed = _parse_snapshot_name(path.name)
+            if parsed is None:
+                continue
+            name, seq, kind = parsed
+            entry = streams.get(name)
+            if entry is None or seq > entry["seq"]:
+                streams[name] = {"file": path.name, "seq": seq, "kind": kind}
+        return {"format": SNAPSHOT_FORMAT, "streams": streams}
+
     def streams(self) -> list[str]:
         """Stream names with at least one snapshot, sorted."""
-        return sorted(self.manifest()["streams"])
+        return sorted(self._manifest_or_rebuild()["streams"])
 
     # ------------------------------------------------------------------
-    # Write / read
+    # Write
     # ------------------------------------------------------------------
 
     def write(self, name: str, payload: dict) -> Path:
-        """Persist one stream snapshot and point the manifest at it.
+        """Persist one full stream snapshot and point the manifest at it.
 
-        The snapshot file is written before the manifest entry, so a
-        crash between the two at worst leaves an orphaned file, never a
-        dangling manifest reference.  Write failures (including injected
-        ones) are counted and re-raised; the previous generation and the
-        manifest are left untouched.
+        A payload carrying ``state_arrays`` (the
+        :meth:`~repro.runtime.maintainer.Maintainer.state_arrays` pair)
+        and/or numpy ``tail`` batches is written as a format-3 binary
+        ``.snap``; any other payload takes the format-2 JSON path
+        unchanged.  The snapshot file is written before the manifest
+        entry, so a crash between the two at worst leaves an orphaned
+        file, never a dangling manifest reference.  Write failures
+        (including injected ones) are counted and re-raised; the
+        previous generation and the manifest are left untouched.
         """
-        manifest = self.manifest()
+        manifest = self._manifest_or_rebuild()
         entry = manifest["streams"].get(name, {})
         seq = int(entry.get("seq", 0)) + 1
-        filename = f"{name}-{seq:08d}.json"
-        payload = {
-            "format": SNAPSHOT_FORMAT,
-            "stream": name,
-            "seq": seq,
-            "created_at": time.time(),
-            **payload,
-        }
-        payload[CHECKSUM_FIELD] = _payload_checksum(payload)
+        binary = "state_arrays" in payload
+        suffix = SUFFIX_FULL if binary else SUFFIX_JSON
+        filename = f"{_encode_name(name)}-{seq:08d}{suffix}"
         path = self.directory / filename
+        created_at = time.time()
         try:
             if self._injector is not None:
                 self._injector.on_snapshot_write(name, seq)
-            _atomic_write_json(path, payload)
+            if binary:
+                data, checksum = self._encode_full(
+                    name, seq, created_at, payload
+                )
+                _atomic_write(path, data, self._injector)
+            else:
+                body = {
+                    "format": 2,
+                    "stream": name,
+                    "seq": seq,
+                    "created_at": created_at,
+                    **payload,
+                }
+                checksum = body[CHECKSUM_FIELD] = _payload_checksum(body)
+                _atomic_write_json(path, body, self._injector)
             manifest["streams"][name] = {
                 "file": filename,
                 "seq": seq,
-                "arrivals": payload.get("arrivals", 0),
-                "created_at": payload["created_at"],
-                CHECKSUM_FIELD: payload[CHECKSUM_FIELD],
+                "kind": "full",
+                "arrivals": int(payload.get("arrivals", 0)),
+                "created_at": created_at,
+                CHECKSUM_FIELD: checksum,
             }
-            _atomic_write_json(self._manifest_path, manifest)
+            _atomic_write_json(self._manifest_path, manifest, self._injector)
         except OSError:
             self._count("write_failures", name)
             raise
@@ -164,20 +422,125 @@ class SnapshotStore:
         self._prune(name)
         return path
 
+    def write_delta(
+        self,
+        name: str,
+        *,
+        arrivals: int,
+        from_arrivals: int,
+        batches,
+        tail,
+    ) -> Path:
+        """Persist a delta checkpoint chained onto the newest generation.
+
+        ``batches`` are the ``(start_arrival, batch)`` pairs ingested
+        since the previous checkpoint (which ended at ``from_arrivals``);
+        ``tail`` is the currently buffered, not-yet-ingested suffix.
+        Raises ``ValueError`` when the stream has no manifest head to
+        chain from -- the caller falls back to a full snapshot.
+        """
+        manifest = self._manifest_or_rebuild()
+        entry = manifest["streams"].get(name)
+        if entry is None:
+            raise ValueError(f"stream {name!r} has no base snapshot to extend")
+        seq = int(entry.get("seq", 0)) + 1
+        base_seq = int(entry.get("base_seq", entry.get("seq", 0)))
+        filename = f"{_encode_name(name)}-{seq:08d}{SUFFIX_DELTA}"
+        path = self.directory / filename
+        created_at = time.time()
+        batch_arrays = [
+            (int(start), _as_batch_array(batch)) for start, batch in batches
+        ]
+        tail_arrays = [_as_batch_array(batch) for batch in tail]
+        header = {
+            "format": SNAPSHOT_FORMAT,
+            "kind": "delta",
+            "stream": name,
+            "seq": seq,
+            "base_seq": base_seq,
+            "prev_seq": int(entry.get("seq", 0)),
+            "created_at": created_at,
+            "arrivals": int(arrivals),
+            "from_arrivals": int(from_arrivals),
+            "batch_starts": [start for start, _ in batch_arrays],
+            "batch_lengths": [int(b.size) for _, b in batch_arrays],
+            "tail_lengths": [int(b.size) for b in tail_arrays],
+        }
+        sections = [
+            ("batches", b"".join(b.tobytes() for _, b in batch_arrays)),
+            ("tail", b"".join(b.tobytes() for b in tail_arrays)),
+        ]
+        try:
+            if self._injector is not None:
+                self._injector.on_snapshot_write(name, seq)
+            _atomic_write(path, _encode_binary(header, sections), self._injector)
+            manifest["streams"][name] = {
+                "file": filename,
+                "seq": seq,
+                "kind": "delta",
+                "base_seq": base_seq,
+                "arrivals": int(arrivals),
+                "created_at": created_at,
+            }
+            _atomic_write_json(self._manifest_path, manifest, self._injector)
+        except OSError:
+            self._count("write_failures", name)
+            raise
+        self._count("writes", name)
+        return path
+
+    def _encode_full(
+        self, name: str, seq: int, created_at: float, payload: dict
+    ) -> tuple[bytes, str]:
+        """Binary-encode a full snapshot payload; returns (bytes, checksum)."""
+        payload = dict(payload)
+        skeleton, arrays = payload.pop("state_arrays")
+        tail_arrays = [_as_batch_array(b) for b in payload.pop("tail", [])]
+        table, state_blob = _split_arrays(arrays)
+        header = {
+            "format": SNAPSHOT_FORMAT,
+            "kind": "full",
+            "stream": name,
+            "seq": seq,
+            "created_at": created_at,
+            "arrivals": int(payload.get("arrivals", 0)),
+            "meta": payload,
+            "state_skeleton": skeleton,
+            "state_arrays": table,
+            "tail_lengths": [int(b.size) for b in tail_arrays],
+        }
+        sections = [
+            ("state", state_blob),
+            ("tail", b"".join(b.tobytes() for b in tail_arrays)),
+        ]
+        data = _encode_binary(header, sections)
+        digest = hashlib.sha256(
+            data[len(BINARY_MAGIC) + 4 : len(BINARY_MAGIC) + 36]
+        ).hexdigest()
+        return data, f"sha256:{digest}"
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+
     def load_latest(self, name: str) -> dict:
         """The most recent *verifiable* snapshot payload of ``name``.
 
         Tries the manifest's newest generation first, then falls back to
         older on-disk generations (newest first) whenever a file is
-        corrupt, truncated, missing, or fails its checksum.  Raises
-        ``KeyError`` when the stream has no snapshot at all and
+        corrupt, truncated, missing, or fails a checksum.  A delta head
+        resolves its whole chain: the base is loaded, the verified delta
+        prefix is folded into the returned payload's ``tail`` (so the
+        restored worker replays exactly the points the deltas recorded),
+        and a corrupt link truncates the chain at the last good delta.
+        Raises ``KeyError`` when the stream has no snapshot at all and
         :class:`SnapshotCorruptError` when every generation is bad.
         """
         candidates: list[Path] = []
-        entry = self.manifest()["streams"].get(name)
+        entry = self._manifest_or_rebuild()["streams"].get(name)
         if entry is not None:
             candidates.append(self.directory / entry["file"])
-        for path in sorted(self.generations(name), reverse=True):
+        for path in reversed(self.generations(name)):
             if path not in candidates:
                 candidates.append(path)
         if not candidates:
@@ -185,7 +548,7 @@ class SnapshotStore:
         failures: list[str] = []
         for position, path in enumerate(candidates):
             try:
-                payload = self._load_verified(path, name)
+                payload = self._resolve(path, name)
             except SnapshotCorruptError as error:
                 self._count("corrupt_snapshots", name)
                 logger.warning("snapshot %s rejected: %s", path.name, error)
@@ -204,8 +567,147 @@ class SnapshotStore:
         )
 
     def generations(self, name: str) -> list[Path]:
-        """On-disk snapshot files of ``name``, oldest first."""
-        return sorted(self.directory.glob(f"{name}-*.json"))
+        """On-disk snapshot files of exactly ``name``, oldest first.
+
+        Matches the precise ``{encoded-name}-{8 digits}{suffix}``
+        pattern, so stream ``"a"`` never sees ``"a-b"``'s files (the
+        old ``{name}-*.json`` glob did).
+        """
+        token = re.escape(_encode_name(name))
+        pattern = re.compile(
+            rf"^{token}-(\d{{8}})({'|'.join(re.escape(s) for s in _SUFFIXES)})$"
+        )
+        matches = []
+        for path in self.directory.iterdir():
+            match = pattern.match(path.name)
+            if match is not None:
+                matches.append((int(match.group(1)), path))
+        return [path for _, path in sorted(matches)]
+
+    def _resolve(self, path: Path, name: str) -> dict:
+        """Verified payload of one head candidate (chain-resolved)."""
+        if path.name.endswith(SUFFIX_JSON):
+            return self._load_verified(path, name)
+        header, sections = self._load_binary(path, name)
+        if header.get("kind") == "delta":
+            return self._resolve_chain(header, name)
+        return self._full_payload(header, sections)
+
+    def _load_binary(self, path: Path, name: str):
+        try:
+            raw = path.read_bytes()
+        except OSError as error:
+            raise SnapshotCorruptError(
+                f"unreadable snapshot {path.name}: {error}"
+            ) from error
+        header, sections = _decode_binary(raw, path.name)
+        if header.get("stream") != name:
+            raise SnapshotCorruptError(
+                f"snapshot {path.name} belongs to stream "
+                f"{header.get('stream')!r}, not {name!r}"
+            )
+        return header, sections
+
+    def _full_payload(self, header: dict, sections) -> dict:
+        arrays = _join_arrays(
+            header.get("state_arrays", []), sections.get("state", b"")
+        )
+        payload = {
+            "format": header["format"],
+            "stream": header["stream"],
+            "seq": header["seq"],
+            "created_at": header["created_at"],
+            "arrivals": header.get("arrivals", 0),
+            **header.get("meta", {}),
+            "state_arrays": (header.get("state_skeleton"), arrays),
+            "tail": _split_tail(
+                header.get("tail_lengths", []), sections.get("tail", b"")
+            ),
+        }
+        return payload
+
+    def _resolve_chain(self, head: dict, name: str) -> dict:
+        """Base payload + the verified delta prefix up to ``head``.
+
+        The chain is replayed positionally: starting at the base's
+        arrival counter, a delta batch is accepted when it starts
+        exactly at the current position, skipped when it re-states an
+        already-covered range (a delta written after a mid-chain restore
+        does that), and the chain is truncated at the first gap or
+        unverifiable link.  Each delta carries the tail as of its
+        checkpoint, so truncation at any link still yields the
+        consistent (state, arrivals, tail) triple that link persisted.
+        """
+        base_seq = int(head["base_seq"])
+        base_path = self._chain_file(name, base_seq)
+        if base_path is None:
+            raise SnapshotCorruptError(
+                f"delta chain of stream {name!r} has no base generation "
+                f"{base_seq:08d}"
+            )
+        payload = self._resolve(base_path, name)  # full .snap or legacy .json
+        position = int(payload.get("arrivals", 0))
+        accepted: list[np.ndarray] = []
+        tail = payload.get("tail", payload.get("pending", []))
+        truncated = False
+        for seq in range(base_seq + 1, int(head["seq"]) + 1):
+            delta_path = self._chain_file(name, seq, delta=True)
+            if delta_path is None:
+                truncated = True
+                break
+            try:
+                header, sections = self._load_binary(delta_path, name)
+                if header.get("kind") != "delta" or int(header["base_seq"]) != base_seq:
+                    raise SnapshotCorruptError(
+                        f"{delta_path.name}: not a link of chain base "
+                        f"{base_seq:08d}"
+                    )
+                batches = _split_batches(header, sections["batches"])
+            except SnapshotCorruptError as error:
+                self._count("corrupt_snapshots", name)
+                logger.warning("delta %s rejected: %s", delta_path.name, error)
+                truncated = True
+                break
+            advanced = False
+            gap = False
+            for start, batch in batches:
+                if start == position:
+                    accepted.append(batch)
+                    position += int(batch.size)
+                    advanced = True
+                elif start + int(batch.size) <= position:
+                    continue  # already covered by an earlier link
+                else:
+                    gap = True
+                    break
+            if gap:
+                self._count("corrupt_snapshots", name)
+                logger.warning(
+                    "delta %s leaves an arrival gap at %d; chain truncated",
+                    delta_path.name, position,
+                )
+                truncated = True
+                break
+            if advanced or int(header.get("arrivals", position)) == position:
+                tail = _split_tail(
+                    header.get("tail_lengths", []), sections.get("tail", b"")
+                )
+        if truncated:
+            self._count("fallback_loads", name)
+        payload["tail"] = list(accepted) + list(tail)
+        return payload
+
+    def _chain_file(
+        self, name: str, seq: int, *, delta: bool = False
+    ) -> Path | None:
+        """The on-disk file of generation ``seq``, if any."""
+        stem = f"{_encode_name(name)}-{seq:08d}"
+        suffixes = (SUFFIX_DELTA,) if delta else (SUFFIX_FULL, SUFFIX_JSON)
+        for suffix in suffixes:
+            path = self.directory / (stem + suffix)
+            if path.exists():
+                return path
+        return None
 
     def _load_verified(self, path: Path, name: str) -> dict:
         try:
@@ -243,10 +745,30 @@ class SnapshotStore:
                 )
         return payload
 
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+
     def _prune(self, name: str) -> None:
-        """Drop generations beyond ``keep``, counting (not hiding) errors."""
+        """Drop generations beyond ``keep``, counting (not hiding) errors.
+
+        ``keep`` counts full snapshots; everything older than the oldest
+        retained full is deleted.  Deltas between retained fulls (or
+        after the newest) survive with their base, so the cut can never
+        strand a delta whose base is gone.
+        """
         files = self.generations(name)
-        for stale in files[: max(0, len(files) - self.keep)]:
+        full_seqs = [
+            path_seq(path)
+            for path in files
+            if not path.name.endswith(SUFFIX_DELTA)
+        ]
+        if len(full_seqs) <= self.keep:
+            return
+        cutoff = full_seqs[-self.keep]
+        for stale in files:
+            if path_seq(stale) >= cutoff:
+                continue
             try:
                 stale.unlink()
             except OSError as error:
@@ -254,3 +776,58 @@ class SnapshotStore:
                 logger.warning(
                     "could not remove stale snapshot %s: %s", stale, error
                 )
+
+
+def _parse_snapshot_name(filename: str) -> tuple[str, int, str] | None:
+    """(decoded stream name, seq, kind) of a snapshot filename, or None."""
+    match = re.match(
+        rf"^(.+)-(\d{{8}})({'|'.join(re.escape(s) for s in _SUFFIXES)})$",
+        filename,
+    )
+    if match is None:
+        return None
+    kind = "delta" if match.group(3) == SUFFIX_DELTA else "full"
+    return _decode_name(match.group(1)), int(match.group(2)), kind
+
+
+def path_seq(path: Path) -> int:
+    """Sequence number embedded in a snapshot filename."""
+    parsed = _parse_snapshot_name(path.name)
+    if parsed is None:
+        raise ValueError(f"{path.name} is not a snapshot filename")
+    return parsed[1]
+
+
+def _split_tail(lengths, section) -> list[np.ndarray]:
+    """Tail section -> list of float64 batch views."""
+    batches = []
+    offset = 0
+    for length in lengths:
+        nbytes = 8 * int(length)
+        batches.append(
+            np.frombuffer(section[offset : offset + nbytes], dtype="<f8")
+        )
+        offset += nbytes
+    return batches
+
+
+def _split_batches(header: dict, section) -> list[tuple[int, np.ndarray]]:
+    """Delta batches section -> (start_arrival, batch) views."""
+    starts = header.get("batch_starts", [])
+    lengths = header.get("batch_lengths", [])
+    if len(starts) != len(lengths):
+        raise SnapshotCorruptError("delta batch table is inconsistent")
+    batches = []
+    offset = 0
+    for start, length in zip(starts, lengths):
+        nbytes = 8 * int(length)
+        if offset + nbytes > len(section):
+            raise SnapshotCorruptError("delta batches exceed section size")
+        batches.append(
+            (
+                int(start),
+                np.frombuffer(section[offset : offset + nbytes], dtype="<f8"),
+            )
+        )
+        offset += nbytes
+    return batches

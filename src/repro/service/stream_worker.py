@@ -761,6 +761,51 @@ class StreamWorker:
                     tail,
                 )
 
+    def checkpoint_capture(
+        self,
+        *,
+        state: bool = True,
+        arrays: bool = True,
+        replay_since: int | None = None,
+    ) -> dict:
+        """One consistent capture of everything a checkpoint can use.
+
+        Same locking discipline as :meth:`checkpoint_state` (state lock
+        parks the worker between batches, queue lock fences the tail),
+        but returns numpy batches instead of lists and, when ``arrays``
+        is set and the maintainer opted in, the state as a
+        ``state_arrays`` skeleton/arrays pair for the binary snapshot
+        writer (``state`` otherwise).  ``state=False`` skips the state
+        capture entirely -- delta checkpoints only need arrivals, tail,
+        and the replay slice.  With ``replay_since`` the capture also
+        includes the replay-log slice starting at that arrival -- the
+        ingested-since-last-checkpoint batches a delta checkpoint
+        persists.
+        """
+        with self._state_lock:
+            with self._cv:
+                self._raise_if_failed()
+                tail = [batch.copy() for batch in self._queue]
+                if self._in_flight is not None:
+                    tail = [batch.copy() for batch in self._in_flight] + tail
+                capture: dict = {
+                    "arrivals": self._pipeline.arrivals,
+                    "tail": tail,
+                }
+                if replay_since is not None:
+                    capture["replay"] = [
+                        (start, batch.copy())
+                        for start, batch in self._replay
+                        if start >= replay_since
+                    ]
+                if not state:
+                    return capture
+                if arrays and self.maintainer.supports_state_arrays:
+                    capture["state_arrays"] = self.maintainer.state_arrays()
+                else:
+                    capture["state"] = self.maintainer.state_dict()
+                return capture
+
     # ------------------------------------------------------------------
     # Recovery side (supervisor)
     # ------------------------------------------------------------------

@@ -225,11 +225,12 @@ class StreamSupervisor:
         spec = service._specs[name]
         pending = dead.drain_pending()
         replay = dead.replay_batches()
-        state, arrivals = None, 0
+        state, state_arrays, arrivals = None, None, 0
         if service._store is not None:
             try:
                 payload = service._store.load_latest(name)
-                state = payload["state"]
+                state = payload.get("state")
+                state_arrays = payload.get("state_arrays")
                 arrivals = int(payload["arrivals"])
             except KeyError:
                 pass  # no snapshot yet: rebuild from scratch + replay
@@ -251,7 +252,7 @@ class StreamSupervisor:
             )
         worker = service._build_worker(
             name, spec, state=state, arrivals=arrivals,
-            dead_letter=dead.dead_letter,
+            state_arrays=state_arrays, dead_letter=dead.dead_letter,
         )
         stale = dead.view()
         seeded = worker.view()

@@ -101,6 +101,7 @@ def _build_service(options: dict) -> StreamService:
     kwargs = dict(
         supervise=bool(options.get("supervise", True)),
         snapshot_keep=int(options.get("snapshot_keep", 2)),
+        snapshot_base_every=int(options.get("snapshot_base_every", 1)),
         # The router's injector crosses the fork with the options, so
         # shard-internal ingest faults (slow/crash) stay schedulable.
         # QoS deliberately does NOT cross: admission already ran at the
@@ -253,7 +254,9 @@ class ShardHost:
         if verb == "checkpoint":
             self._barrier(args)
             return {
-                "paths": service.checkpoint(args.get("name")),
+                "paths": service.checkpoint(
+                    args.get("name"), mode=args.get("mode", "auto")
+                ),
                 "applied_seq": self._watermark.applied,
                 "arrivals": self._stream_arrivals(),
             }

@@ -186,6 +186,11 @@ class _ShardHandle:
         # (seq, stream, per-stream submitted-point offset, payload).
         self.replay: deque[tuple[int, str, int, bytes]] = deque()
         self.checkpoint_seqs: deque[int] = deque(maxlen=2)
+        # Barriers that wrote *full* (base) generations: replay frames
+        # are only droppable once a base covers them -- a delta barrier
+        # still needs every frame back to its base on a corrupt chain.
+        self.base_seqs: deque[int] = deque(maxlen=2)
+        self.deltas_since_base = 0
         self.arrivals_at_checkpoint: dict[str, int] = {}
         self.points_since_checkpoint = 0
         self.checkpoint_cadence: int | None = None
@@ -218,6 +223,12 @@ class ShardRouter:
     snapshot_keep:
         Snapshot generations each shard retains; also bounds how far
         back the router keeps replay frames.
+    snapshot_base_every:
+        Delta-checkpoint cadence, forwarded to each shard's internal
+        service: every K-th router checkpoint barrier forces full base
+        snapshots, the barriers in between write binary deltas.  The
+        router trims its replay buffer only at base barriers, so a
+        truncated delta chain can always be re-derived from frames.
     supervise_workers:
         Whether each shard's internal service supervises its worker
         threads (on by default; shard *process* supervision is always on).
@@ -231,6 +242,7 @@ class ShardRouter:
         virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
         restart_policy: RestartPolicy | None = None,
         snapshot_keep: int = 2,
+        snapshot_base_every: int = 1,
         supervise_workers: bool = True,
         request_timeout: float = 120.0,
         recovery_wait: float = 30.0,
@@ -246,6 +258,8 @@ class ShardRouter:
             raise ValueError("num_shards must be >= 1")
         if snapshot_keep < 1:
             raise ValueError("snapshot_keep must be >= 1")
+        if snapshot_base_every < 1:
+            raise ValueError("snapshot_base_every must be >= 1")
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
                 "ShardRouter needs the 'fork' start method (POSIX only)"
@@ -253,6 +267,7 @@ class ShardRouter:
         self._ctx = multiprocessing.get_context("fork")
         self._snapshot_base = Path(snapshot_dir) if snapshot_dir else None
         self._snapshot_keep = int(snapshot_keep)
+        self._snapshot_base_every = int(snapshot_base_every)
         self._supervise_workers = bool(supervise_workers)
         self._restart_policy = restart_policy or RestartPolicy()
         self._request_timeout = float(request_timeout)
@@ -303,6 +318,7 @@ class ShardRouter:
         }
         for handle in self._shards.values():
             handle.checkpoint_seqs = deque(maxlen=self._snapshot_keep)
+            handle.base_seqs = deque(maxlen=self._snapshot_keep)
             handle.breaker = CircuitBreaker(
                 shard=str(handle.shard_id),
                 failure_threshold=self._breaker_threshold,
@@ -340,6 +356,7 @@ class ShardRouter:
             "snapshot_dir": self._shard_dir(handle.shard_id),
             "supervise": self._supervise_workers,
             "snapshot_keep": self._snapshot_keep,
+            "snapshot_base_every": self._snapshot_base_every,
             "restore": bool(restore),
             # The injector object crosses the fork (like the sockets),
             # so position-deterministic faults fire shard-side too.
@@ -1224,9 +1241,20 @@ class ShardRouter:
                 self._await_up(handle)
             with handle.send_lock:
                 upto = handle.next_seq - 1
+                # The shard decides delta-vs-full per stream, but the
+                # router forces a full base when the delta cadence is
+                # exhausted or no base barrier exists yet -- replay
+                # frames may only be dropped once a *base* covers them.
+                force_full = (
+                    self._snapshot_base_every <= 1
+                    or handle.deltas_since_base >= self._snapshot_base_every - 1
+                    or not handle.base_seqs
+                )
             try:
                 reply = self._request_raw(
-                    handle, "checkpoint", {"upto_seq": upto}
+                    handle,
+                    "checkpoint",
+                    {"upto_seq": upto, "mode": "full" if force_full else "auto"},
                 )
             except TimeoutError:
                 handle.breaker.record_failure()
@@ -1236,13 +1264,19 @@ class ShardRouter:
                 continue
             with handle.send_lock:
                 handle.checkpoint_seqs.append(upto)
+                if force_full:
+                    handle.base_seqs.append(upto)
+                    handle.deltas_since_base = 0
+                else:
+                    handle.deltas_since_base += 1
                 handle.arrivals_at_checkpoint = {
                     stream: int(count)
                     for stream, count in reply["arrivals"].items()
                 }
-                oldest = handle.checkpoint_seqs[0]
-                while handle.replay and handle.replay[0][0] <= oldest:
-                    handle.replay.popleft()
+                if handle.base_seqs:
+                    oldest = handle.base_seqs[0]
+                    while handle.replay and handle.replay[0][0] <= oldest:
+                        handle.replay.popleft()
                 handle.points_since_checkpoint = 0
             return list(reply["paths"])
 

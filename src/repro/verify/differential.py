@@ -297,6 +297,25 @@ class DifferentialChecker:
                             position=arrivals,
                         )
                     )
+                if primary.supports_state_arrays:
+                    # The binary snapshot fast path must be just as
+                    # lossless as the JSON one: flatten to raw arrays,
+                    # rebuild, compare answers.
+                    skeleton, arrays = primary.state_arrays()
+                    via_arrays = make_maintainer(self.backend, **self.params)
+                    via_arrays.load_state_arrays(skeleton, arrays)
+                    if (
+                        observe(via_arrays)["synopsis"]
+                        != observe(primary)["synopsis"]
+                    ):
+                        result.violations.append(
+                            Violation(
+                                "restore-identity-arrays",
+                                "state_arrays round-trip did not restore "
+                                "an identical maintainer",
+                                position=arrivals,
+                            )
+                        )
 
             if arrivals >= next_check:
                 check_now()

@@ -351,3 +351,77 @@ class TestRecoveryObservability:
                 if s["name"] == "repro_restarts_total"
             ]
             assert restarts and restarts[0] == 2
+
+
+class TestDeltaCheckpointRecovery:
+    """Delta chains must not weaken the bit-identical recovery bar."""
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_KWARGS))
+    def test_crash_recovery_with_delta_cadence(self, backend, tmp_path):
+        stream = integer_stream(1200, seed=33)
+        injector = FaultInjector(seed=19)
+        crash_arrival = 900 + injector.crash_points(300, count=1)[0]
+        injector.crash_at(crash_arrival, stream="s")
+        with StreamService(
+            tmp_path,
+            supervise=True,
+            restart_policy=FAST_RESTARTS,
+            fault_injector=injector,
+            snapshot_base_every=3,
+        ) as service:
+            service.create_stream(
+                "s", backend=backend, params=BACKEND_KWARGS[backend],
+                maintain_every=32,
+            )
+            # Six checkpoints under a base-every-3 cadence: full, delta,
+            # delta, full, delta, delta.
+            for boundary in range(150, 901, 150):
+                service.ingest("s", stream[boundary - 150 : boundary])
+                service.flush("s")
+                service.checkpoint("s")
+            suffixes = {p.suffix for p in service._store.generations("s")}
+            assert ".delta" in suffixes
+            for start in range(900, 1200, 50):
+                service.ingest("s", stream[start : start + 50])
+            assert service.flush("s") is True
+            health = service.health("s")
+            assert health["state"] == "healthy"
+            assert health["restarts"] == 1
+            assert health["lossy_recovery"] is False
+            assert service.stats("s")["arrivals"] == 1200
+            served = service.synopsis("s")
+        assert_same_synopsis(served, direct_run(backend, stream))
+
+    def test_corrupt_delta_head_still_recovers_exactly(self, tmp_path):
+        stream = integer_stream(1000, seed=51)
+        injector = FaultInjector().crash_at(950, stream="s")
+        with StreamService(
+            tmp_path,
+            supervise=True,
+            restart_policy=FAST_RESTARTS,
+            fault_injector=injector,
+            snapshot_base_every=4,
+        ) as service:
+            service.create_stream(
+                "s", backend="gk_quantiles",
+                params=BACKEND_KWARGS["gk_quantiles"], maintain_every=32,
+            )
+            paths = []
+            for boundary in range(200, 801, 200):
+                service.ingest("s", stream[boundary - 200 : boundary])
+                service.flush("s")
+                paths = service.checkpoint("s")
+            # The newest generation is a delta; corrupting it must
+            # truncate the chain, not break recovery -- replay covers
+            # everything past the surviving prefix.
+            assert paths[0].endswith(".delta")
+            Path(paths[0]).write_bytes(b"garbage")
+            for start in range(800, 1000, 50):
+                service.ingest("s", stream[start : start + 50])
+            assert service.flush("s") is True
+            health = service.health("s")
+            assert health["state"] == "healthy"
+            assert health["lossy_recovery"] is False
+            assert service.stats("s")["arrivals"] == 1000
+            served = service.synopsis("s")
+        assert_same_synopsis(served, direct_run("gk_quantiles", stream))

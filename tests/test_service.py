@@ -555,6 +555,96 @@ class TestCheckpointRestore:
             with pytest.raises(RuntimeError, match="snapshot_dir"):
                 service.checkpoint()
 
+    def test_preexisting_format2_json_directory_restores(self, tmp_path):
+        """A snapshot directory written by the old JSON layout restores."""
+        stream = integer_stream(500, seed=17)
+        params = dict(epsilon=0.05)
+        maintainer = make_maintainer("gk_quantiles", **params)
+        pipeline = StreamPipeline([maintainer], maintain_every=16)
+        pipeline.run(stream[:300])
+        spec = StreamSpec(
+            backend="gk_quantiles", params=params, maintain_every=16
+        )
+        store = SnapshotStore(tmp_path)
+        # Exactly what a pre-binary service persisted: JSON state dict,
+        # no state_arrays -- the store must keep this on format 2.
+        path = store.write(
+            "s",
+            {
+                "spec": spec.to_dict(),
+                "arrivals": 300,
+                "state": json.loads(json.dumps(maintainer.state_dict())),
+                "tail": [stream[300:350].tolist()],
+            },
+        )
+        assert path.suffix == ".json"
+        restored = StreamService.restore(tmp_path, snapshot_base_every=3)
+        restored.flush("s")
+        assert restored.stats("s")["arrivals"] == 350
+        restored.ingest("s", stream[350:])
+        restored.flush("s")
+        # The first checkpoint of the restored service may chain a delta
+        # onto the legacy JSON base.
+        restored.checkpoint("s")
+        served = restored.synopsis("s")
+        restored.close(checkpoint=False)
+        direct = make_maintainer("gk_quantiles", **params)
+        StreamPipeline([direct], maintain_every=16).run(stream)
+        assert_same_synopsis(served, reference_synopsis(direct))
+
+    def test_delta_cadence_round_trip(self, tmp_path):
+        """Restore from a delta head, checkpoint again, restore again."""
+        stream = integer_stream(900, seed=23)
+        params = dict(window_size=64, num_buckets=8, epsilon=0.25)
+        with StreamService(tmp_path, snapshot_base_every=3) as service:
+            service.create_stream(
+                "s", backend="fixed_window", params=params, maintain_every=16
+            )
+            for boundary in range(150, 601, 150):
+                service.ingest("s", stream[boundary - 150 : boundary])
+                service.flush("s")
+                service.checkpoint("s")
+            service.close(checkpoint=False)
+        suffixes = [p.suffix for p in SnapshotStore(tmp_path).generations("s")]
+        assert ".delta" in suffixes and ".snap" in suffixes
+        middle = StreamService.restore(tmp_path, snapshot_base_every=3)
+        middle.flush("s")
+        assert middle.stats("s")["arrivals"] == 600
+        middle.ingest("s", stream[600:750])
+        middle.flush("s")
+        middle.checkpoint("s")  # chains onto the restored head
+        middle.close(checkpoint=False)
+        final = StreamService.restore(tmp_path)
+        final.flush("s")
+        assert final.stats("s")["arrivals"] == 750
+        final.ingest("s", stream[750:])
+        final.flush("s")
+        served = final.synopsis("s")
+        final.close(checkpoint=False)
+        direct = make_maintainer("fixed_window", **params)
+        StreamPipeline([direct], maintain_every=16).run(stream)
+        assert served.to_dict() == reference_synopsis(direct).to_dict()
+
+    def test_checkpoint_mode_full_overrides_cadence(self, tmp_path):
+        with StreamService(tmp_path, snapshot_base_every=4) as service:
+            service.create_stream(
+                "s", backend="exact", params=dict(window_size=32)
+            )
+            for _ in range(3):
+                service.ingest("s", integer_stream(50, seed=3))
+                service.flush("s")
+                service.checkpoint("s", mode="full")
+            suffixes = {
+                p.suffix for p in service._store.generations("s")
+            }
+            assert suffixes == {".snap"}
+            with pytest.raises(ValueError, match="mode"):
+                service.checkpoint("s", mode="bogus")
+
+    def test_snapshot_base_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_base_every"):
+            StreamService(tmp_path, snapshot_base_every=0)
+
 
 class TestSnapshotStore:
     def test_manifest_tracks_latest_and_prunes(self, tmp_path):

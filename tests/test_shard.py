@@ -290,6 +290,51 @@ class TestShardCrashRecovery:
                     f"{backend}: {label} diverged after crash recovery"
                 )
 
+    def test_sigkill_with_delta_cadence_recovers_bit_identical(
+        self, tmp_path
+    ):
+        """Delta checkpoints on the shard tier heal just as losslessly."""
+        data = _domain_stream(POINTS, seed=29)
+        chunks = _chunks(data)
+        quarter = len(chunks) // 4
+        with StreamService() as reference:
+            reference.create_stream(
+                "rec", backend="gk_quantiles", params={"epsilon": 0.05},
+                maintain_every=16,
+            )
+            for chunk in chunks:
+                reference.ingest("rec", chunk)
+            assert reference.flush("rec") is True
+            expected = reference.histogram("rec")
+        snap = tmp_path / "snap"
+        with ShardRouter(
+            num_shards=2, snapshot_dir=snap, snapshot_base_every=3
+        ) as router:
+            # Four checkpoint barriers under a base-every-3 cadence:
+            # full, delta, delta, full.
+            for barrier in range(4):
+                for chunk in chunks[barrier * quarter : (barrier + 1) * quarter]:
+                    if barrier == 0 and chunk is chunks[0]:
+                        router.create_stream(
+                            "rec", backend="gk_quantiles",
+                            params={"epsilon": 0.05}, maintain_every=16,
+                        )
+                    router.ingest("rec", chunk)
+                router.flush("rec")
+                router.checkpoint()
+            deltas = list(snap.rglob("*.delta"))
+            assert deltas, "delta cadence never produced a delta file"
+            shard_id = _kill_owner(router, "rec")
+            for chunk in chunks[4 * quarter :]:
+                router.ingest("rec", chunk)
+            assert router.flush("rec") is True
+            _wait_for_state(router, shard_id, "up")
+            assert router.stats("rec")["arrivals"] == POINTS
+            health = router.health("rec")
+            assert health["state"] == "healthy"
+            assert health["lossy_recovery"] is False
+            assert router.histogram("rec") == expected
+
     def test_crash_without_snapshots_replays_the_full_buffer(self):
         """No snapshot_dir => no checkpoint ever trimmed the replay
         buffer, so the respawned (empty) shard is rebuilt from replay

@@ -1,33 +1,56 @@
 """Snapshot integrity: checksums, generation fallback, typed corruption.
 
-Pins the durability half of the fault-tolerance contract: every format-2
-snapshot embeds a sha256 checksum over its canonical body; loads verify
-it and fall back generation by generation when the newest file is
-corrupt, truncated, missing, or mislabeled; corruption surfaces as the
-typed :class:`SnapshotCorruptError`; and cleanup problems are counted
-rather than silently swallowed.
+Pins the durability half of the fault-tolerance contract across all
+three on-disk kinds (format-2 JSON, format-3 binary fulls, format-3
+deltas): every file is checksummed and verified on load; loads fall
+back generation by generation when the newest file is corrupt,
+truncated, missing, or mislabeled; a corrupt delta link truncates its
+chain to the verified prefix; corruption surfaces as the typed
+:class:`SnapshotCorruptError` (including unreadable manifests);
+filenames isolate prefix-colliding stream names; and pruning never
+strands a delta without its base.
 """
 
 from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.service import SnapshotCorruptError, SnapshotStore
-from repro.service.snapshot import SNAPSHOT_FORMAT, _payload_checksum
+from repro.service.faults import FaultInjector
+from repro.service.snapshot import (
+    BINARY_MAGIC,
+    _encode_name,
+    _payload_checksum,
+)
 
 
 def payload(arrivals, marker):
     return {"arrivals": arrivals, "state": {"marker": marker}, "pending": []}
 
 
+def binary_payload(arrivals, values, tail=()):
+    """A payload taking the format-3 fast path (carries state_arrays)."""
+    skeleton = {"w": {"__nd__": 0, "dt": "f8"}, "scalar": 7}
+    arrays = [np.asarray(values, dtype=np.float64)]
+    return {
+        "arrivals": arrivals,
+        "spec": {"backend": "stub"},
+        "state_arrays": (skeleton, arrays),
+        "tail": [np.asarray(t, dtype=np.float64) for t in tail],
+    }
+
+
 class TestChecksums:
-    def test_written_snapshot_embeds_verifiable_checksum(self, tmp_path):
+    def test_written_json_snapshot_embeds_verifiable_checksum(self, tmp_path):
         store = SnapshotStore(tmp_path)
         path = store.write("s", payload(10, "a"))
         on_disk = json.loads(path.read_text())
-        assert on_disk["format"] == SNAPSHOT_FORMAT
+        # Payloads without a state_arrays fast path stay on the format-2
+        # JSON layout for compatibility.
+        assert on_disk["format"] == 2
         assert on_disk["checksum"].startswith("sha256:")
         assert on_disk["checksum"] == _payload_checksum(on_disk)
         assert store.load_latest("s")["state"] == {"marker": "a"}
@@ -53,6 +76,145 @@ class TestChecksums:
         (tmp_path / "s-00000001.json").write_text(json.dumps(bad))
         with pytest.raises(SnapshotCorruptError, match="unsupported"):
             store.load_latest("s")
+
+
+class TestBinaryFormat:
+    def test_state_arrays_payload_writes_binary_snap(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        path = store.write("s", binary_payload(8, [1.5, 2.5, 3.5]))
+        assert path.suffix == ".snap"
+        assert path.read_bytes().startswith(BINARY_MAGIC)
+
+    def test_binary_round_trip_is_bit_identical(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(
+            "s", binary_payload(8, [1.5, 2.5, 3.5], tail=[[4.0, 5.0], [6.0]])
+        )
+        loaded = store.load_latest("s")
+        skeleton, arrays = loaded["state_arrays"]
+        assert skeleton == {"w": {"__nd__": 0, "dt": "f8"}, "scalar": 7}
+        np.testing.assert_array_equal(arrays[0], [1.5, 2.5, 3.5])
+        assert loaded["arrivals"] == 8
+        assert loaded["spec"] == {"backend": "stub"}
+        assert [t.tolist() for t in loaded["tail"]] == [[4.0, 5.0], [6.0]]
+
+    def test_corrupt_section_byte_is_detected(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=1)
+        path = store.write("s", binary_payload(8, [1.5, 2.5, 3.5]))
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF  # flip one bit in the last section
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotCorruptError, match="checksum mismatch"):
+            store.load_latest("s")
+
+    def test_corrupt_header_is_detected(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=1)
+        path = store.write("s", binary_payload(8, [1.5]))
+        raw = bytearray(path.read_bytes())
+        raw[len(BINARY_MAGIC) + 4 + 32] ^= 0xFF  # first header byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotCorruptError, match="header checksum"):
+            store.load_latest("s")
+
+    def test_corrupt_binary_newest_falls_back_to_previous(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        store.write("s", binary_payload(4, [1.0]))
+        newest = store.write("s", binary_payload(8, [2.0]))
+        newest.write_bytes(b"garbage")
+        loaded = store.load_latest("s")
+        assert loaded["arrivals"] == 4
+        assert store.counters["fallback_loads"] == 1
+
+
+class TestDeltaChains:
+    def test_delta_chain_resolves_onto_base(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write("s", binary_payload(4, [1.0], tail=[[9.0]]))
+        store.write_delta(
+            "s", arrivals=6, from_arrivals=4,
+            batches=[(4, np.array([5.0, 6.0]))], tail=[np.array([7.0])],
+        )
+        store.write_delta(
+            "s", arrivals=7, from_arrivals=6,
+            batches=[(6, np.array([7.0]))], tail=[],
+        )
+        loaded = store.load_latest("s")
+        # Base state + arrivals, with every delta batch folded into the
+        # tail so a restore replays the chain through normal ingestion.
+        assert loaded["arrivals"] == 4
+        assert [t.tolist() for t in loaded["tail"]] == [[5.0, 6.0], [7.0]]
+
+    def test_delta_chains_onto_legacy_json_base(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(
+            "s", {"arrivals": 4, "state": {"marker": "v2"}, "tail": [[1.0]]}
+        )
+        store.write_delta(
+            "s", arrivals=6, from_arrivals=4,
+            batches=[(4, np.array([5.0, 6.0]))], tail=[],
+        )
+        loaded = store.load_latest("s")
+        assert loaded["state"] == {"marker": "v2"}
+        assert loaded["arrivals"] == 4
+        assert [np.asarray(t).tolist() for t in loaded["tail"]] == [[5.0, 6.0]]
+
+    def test_corrupt_middle_delta_truncates_chain(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write("s", binary_payload(4, [1.0], tail=[[0.5]]))
+        first = store.write_delta(
+            "s", arrivals=6, from_arrivals=4,
+            batches=[(4, np.array([5.0, 6.0]))], tail=[np.array([7.0])],
+        )
+        store.write_delta(
+            "s", arrivals=8, from_arrivals=6,
+            batches=[(6, np.array([7.0, 8.0]))], tail=[],
+        )
+        first.write_bytes(b"garbage")
+        loaded = store.load_latest("s")
+        # The chain is cut at the corrupt link: base state + base tail.
+        assert loaded["arrivals"] == 4
+        assert [t.tolist() for t in loaded["tail"]] == [[0.5]]
+        assert store.counters["corrupt_snapshots"] >= 1
+        assert store.counters["fallback_loads"] >= 1
+
+    def test_delta_with_arrival_gap_truncates_chain(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write("s", binary_payload(4, [1.0]))
+        store.write_delta(
+            "s", arrivals=9, from_arrivals=7,
+            batches=[(7, np.array([8.0, 9.0]))], tail=[],  # gap: 4 -> 7
+        )
+        loaded = store.load_latest("s")
+        assert loaded["arrivals"] == 4
+        assert loaded["tail"] == []
+
+    def test_delta_without_base_raises_value_error(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(ValueError, match="no base"):
+            store.write_delta(
+                "s", arrivals=2, from_arrivals=0,
+                batches=[(0, np.array([1.0, 2.0]))], tail=[],
+            )
+
+    def test_prune_never_strands_a_delta(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=1)
+        store.write("s", binary_payload(2, [1.0]))  # seq 1 (old base)
+        store.write_delta(
+            "s", arrivals=3, from_arrivals=2,
+            batches=[(2, np.array([3.0]))], tail=[],
+        )  # seq 2
+        store.write("s", binary_payload(4, [2.0]))  # seq 3 (new base)
+        store.write_delta(
+            "s", arrivals=5, from_arrivals=4,
+            batches=[(4, np.array([5.0]))], tail=[],
+        )  # seq 4
+        names = [p.name for p in store.generations("s")]
+        # keep=1 counts *full* generations: the old base and its delta
+        # are gone, the live base and its trailing delta both survive.
+        assert names == ["s-00000003.snap", "s-00000004.delta"]
+        loaded = store.load_latest("s")
+        assert loaded["arrivals"] == 4
+        assert [t.tolist() for t in loaded["tail"]] == [[5.0]]
 
 
 class TestGenerationFallback:
@@ -107,6 +269,117 @@ class TestGenerationFallback:
         store = SnapshotStore(tmp_path)
         with pytest.raises(KeyError):
             store.load_latest("nope")
+
+
+class TestNameIsolation:
+    """Prefix-colliding stream names must never see each other's files."""
+
+    def test_prefix_colliding_generations_are_disjoint(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write("a", payload(1, "mine"))
+        store.write("a-b", payload(2, "theirs"))
+        store.write("a-b", payload(3, "theirs2"))
+        assert len(store.generations("a")) == 1
+        assert len(store.generations("a-b")) == 2
+        assert store.load_latest("a")["state"] == {"marker": "mine"}
+
+    def test_prune_of_one_name_spares_its_prefix_sibling(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=1)
+        store.write("a-b", payload(1, "sibling"))
+        for generation in range(3):
+            store.write("a", payload(generation, f"g{generation}"))
+        # "a"'s pruning ran twice; "a-b"'s only generation must survive.
+        assert len(store.generations("a")) == 1
+        assert store.load_latest("a-b")["state"] == {"marker": "sibling"}
+
+    def test_fallback_never_crosses_stream_names(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        store.write("a-b", payload(7, "theirs"))
+        newest = store.write("a", payload(1, "mine"))
+        newest.write_text("garbage")
+        # The only fallback candidate for "a" is its own (corrupt) file;
+        # the old glob would have fallen back onto "a-b"'s snapshot.
+        with pytest.raises(SnapshotCorruptError):
+            store.load_latest("a")
+
+    def test_hostile_names_are_percent_encoded(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        name = "../evil stream/θ"
+        path = store.write(name, payload(5, "x"))
+        assert path.parent == tmp_path  # no directory traversal
+        assert "/" not in path.name and " " not in path.name
+        assert store.load_latest(name)["state"] == {"marker": "x"}
+        assert store.streams() == [name]
+
+    def test_encode_name_keeps_valid_names_verbatim(self):
+        assert _encode_name("cpu_load.p99") == "cpu_load.p99"
+        assert _encode_name("a-b") == "a%2Db"
+
+
+class TestManifestHardening:
+    def test_truncated_to_empty_manifest_is_typed_and_rebuilt(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write("s", payload(10, "a"))
+        (tmp_path / "manifest.json").write_text("")
+        with pytest.raises(SnapshotCorruptError):
+            store.manifest()
+        # Internal paths rebuild from the files on disk instead.
+        assert store.load_latest("s")["state"] == {"marker": "a"}
+        assert store.streams() == ["s"]
+        assert store.counters["corrupt_snapshots"] >= 1
+
+    def test_unreadable_manifest_is_typed_not_oserror(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write("s", payload(10, "a"))
+        manifest = tmp_path / "manifest.json"
+        manifest.unlink()
+        manifest.mkdir()  # read_text now raises IsADirectoryError
+        with pytest.raises(SnapshotCorruptError, match="unreadable"):
+            store.manifest()
+        assert store.load_latest("s")["state"] == {"marker": "a"}
+
+    def test_structurally_invalid_manifest_is_typed(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        (tmp_path / "manifest.json").write_text(json.dumps(["not", "a", "dict"]))
+        with pytest.raises(SnapshotCorruptError, match="manifest"):
+            store.manifest()
+
+    def test_rebuilt_manifest_continues_sequence_numbers(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write("s", payload(10, "a"))
+        store.write("s", payload(20, "b"))
+        (tmp_path / "manifest.json").write_text("{broken")
+        path = store.write("s", payload(30, "c"))
+        # The replacement write scanned the disk: no collision with the
+        # surviving generation files.
+        assert path.name == "s-00000003.json"
+        assert store.load_latest("s")["state"] == {"marker": "c"}
+
+
+class TestDirFsync:
+    def test_dropped_dir_fsync_is_audited(self, tmp_path):
+        injector = FaultInjector().drop_dir_fsync(times=1)
+        store = SnapshotStore(tmp_path, fault_injector=injector)
+        store.write("s", payload(10, "a"))
+        kinds = [event["kind"] for event in injector.events]
+        assert "dir_fsync" in kinds
+        assert injector.pending() == 0
+
+    def test_torn_rename_after_dropped_fsync_is_survivable(self, tmp_path):
+        # Simulate the failure window the dir fsync closes: the rename
+        # of generation 2 (and the manifest pointing at it) happened,
+        # but the directory update was lost on crash.  Recovery must
+        # fall back to generation 1 instead of erroring.
+        injector = FaultInjector().drop_dir_fsync(times=4)
+        store = SnapshotStore(tmp_path, fault_injector=injector)
+        store.write("s", payload(100, "gen1"))
+        manifest_before = (tmp_path / "manifest.json").read_bytes()
+        newest = store.write("s", payload(200, "gen2"))
+        # the crash rolls the un-fsynced directory back:
+        newest.unlink()
+        (tmp_path / "manifest.json").write_bytes(manifest_before)
+        recovered = SnapshotStore(tmp_path)
+        assert recovered.load_latest("s")["state"] == {"marker": "gen1"}
 
 
 class TestRetentionAndHygiene:
